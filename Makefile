@@ -1,0 +1,38 @@
+# Convenience targets for the PIM-DL reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./... -timeout 1800s
+
+test-short:
+	$(GO) test ./... -short -timeout 600s
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX .
+
+experiments:
+	$(GO) run ./cmd/pimdl-bench -exp all | tee bench_results.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/autotune
+	$(GO) run ./examples/bert_serving
+	$(GO) run ./examples/vit_inference
+	$(GO) run ./examples/serving_sim
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,182 @@
+package repro
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (each prints the reproduced rows once per run), plus
+// micro-benchmarks of the core kernels (CCS, LUT lookup, distributed PIM
+// execution, auto-tuning) so performance regressions in the library
+// itself are visible.
+//
+// Accuracy tables (4/5) train models and are comparatively slow; use
+//
+//	go test -bench=Table -benchtime=1x
+//
+// to run them exactly once.
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/autotuner"
+	"repro/internal/experiments"
+	"repro/internal/lutnn"
+	"repro/internal/mapping"
+	"repro/internal/pim"
+	"repro/internal/tensor"
+)
+
+// benchExperiment runs a registered experiment once per benchmark
+// iteration, reporting wall time per full reproduction.
+func benchExperiment(b *testing.B, name string, quick bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, io.Discard, quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3ComputationReduction(b *testing.B) { benchExperiment(b, "fig3", true) }
+func BenchmarkFig4Roofline(b *testing.B)             { benchExperiment(b, "fig4", true) }
+func BenchmarkTable4NLPAccuracy(b *testing.B)        { benchExperiment(b, "table4", true) }
+func BenchmarkTable5VisionAccuracy(b *testing.B)     { benchExperiment(b, "table5", true) }
+func BenchmarkFig10EndToEnd(b *testing.B)            { benchExperiment(b, "fig10", true) }
+func BenchmarkFig11Breakdown(b *testing.B)           { benchExperiment(b, "fig11", true) }
+func BenchmarkFig12Sensitivity(b *testing.B)         { benchExperiment(b, "fig12", true) }
+func BenchmarkFig13MappingSpace(b *testing.B)        { benchExperiment(b, "fig13", true) }
+func BenchmarkFig1415DevicePIM(b *testing.B)         { benchExperiment(b, "fig14", true) }
+
+// --- Core kernel micro-benchmarks -----------------------------------------
+
+// benchLayer builds one converted LUT-NN layer for kernel benchmarks.
+var benchLayer = sync.OnceValues(func() (*lutnn.Layer, *tensor.Tensor) {
+	rng := rand.New(rand.NewSource(1))
+	const n, h, f = 2048, 768, 768
+	acts := tensor.RandN(rng, 1, n, h)
+	w := tensor.RandN(rng, 1, f, h)
+	layer, err := lutnn.Convert(w, nil, acts, lutnn.Params{V: 4, CT: 16}, 1)
+	if err != nil {
+		panic(err)
+	}
+	layer.EnableINT8()
+	return layer, acts
+})
+
+func BenchmarkCCSKernel(b *testing.B) {
+	layer, acts := benchLayer()
+	b.SetBytes(int64(acts.Size() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = layer.Codebooks.Search(acts)
+	}
+}
+
+func BenchmarkLUTLookupFP32(b *testing.B) {
+	layer, acts := benchLayer()
+	idx := layer.Codebooks.Search(acts)
+	n := acts.Dim(0)
+	b.SetBytes(int64(len(layer.Table.Data) / layer.Table.CT)) // streamed per row set
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = layer.Table.Lookup(idx, n)
+	}
+}
+
+func BenchmarkLUTLookupINT8(b *testing.B) {
+	layer, acts := benchLayer()
+	idx := layer.Codebooks.Search(acts)
+	n := acts.Dim(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = layer.QTable.Lookup(idx, n)
+	}
+}
+
+func BenchmarkGEMMReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	acts := tensor.RandN(rng, 1, 2048, 768)
+	w := tensor.RandN(rng, 1, 768, 768)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulT(acts, w)
+	}
+}
+
+func BenchmarkDistributedPIMExecution(b *testing.B) {
+	layer, acts := benchLayer()
+	idx := layer.Codebooks.Search(acts)
+	p := pim.UPMEM()
+	w := pim.Workload{N: acts.Dim(0), CB: layer.Codebooks.CB, CT: 16, F: layer.Table.F, ElemBytes: 4}
+	m := pim.Mapping{
+		NsTile: w.N / 64, FsTile: w.F / 16,
+		NmTile: 8, FmTile: 16, CBmTile: 16,
+		Traversal: [3]pim.Loop{pim.LoopF, pim.LoopCB, pim.LoopN},
+		Scheme:    pim.CoarseLoad, CBLoadTile: 1, FLoadTile: 16,
+	}
+	if err := m.Validate(p, w); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pim.ExecuteLUT(p, w, m, idx, layer.Table); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAutotuneBERTLayer(b *testing.B) {
+	p := pim.UPMEM()
+	w := pim.Workload{N: 32768, CB: 192, CT: 16, F: 3072, ElemBytes: 1}
+	cfg := mapping.SpaceConfig{MaxDivisors: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := autotuner.Tune(p, w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodebookConstruction(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	acts := tensor.RandN(rng, 1, 1024, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lutnn.BuildCodebooks(acts, lutnn.Params{V: 4, CT: 16}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLUTConstruction(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	acts := tensor.RandN(rng, 1, 512, 256)
+	cbs, err := lutnn.BuildCodebooks(acts, lutnn.Params{V: 4, CT: 16}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := tensor.RandN(rng, 1, 1024, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lutnn.BuildLUT(cbs, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCostModel(b *testing.B) {
+	p := pim.UPMEM()
+	w := pim.Workload{N: 32768, CB: 256, CT: 16, F: 4096, ElemBytes: 1}
+	m := pim.Mapping{
+		NsTile: 4096, FsTile: 32, NmTile: 128, FmTile: 32, CBmTile: 256,
+		Traversal: [3]pim.Loop{pim.LoopF, pim.LoopCB, pim.LoopN},
+		Scheme:    pim.CoarseLoad, CBLoadTile: 1, FLoadTile: 32,
+	}
+	if err := m.Validate(p, w); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mapping.Cost(p, w, m)
+	}
+}

@@ -1,0 +1,51 @@
+// Command pimdl-bench reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	pimdl-bench -exp fig10          # one experiment
+//	pimdl-bench -exp all            # everything
+//	pimdl-bench -exp table4 -quick  # reduced effort (for smoke tests)
+//
+// Experiment ids match the paper: fig3 fig4 table4 table5 fig10 fig11
+// fig12 fig13 fig14 fig15.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all' ("+strings.Join(experiments.Names(), ", ")+")")
+	quick := flag.Bool("quick", false, "reduced-effort accuracy experiments")
+	flag.Parse()
+
+	names := experiments.Names()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	} else {
+		// fig14 and fig15 share one driver; drop the duplicate.
+		var filtered []string
+		for _, n := range names {
+			if n != "fig15" {
+				filtered = append(filtered, n)
+			}
+		}
+		names = filtered
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := experiments.Run(name, os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "pimdl-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

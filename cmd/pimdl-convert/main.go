@@ -1,0 +1,92 @@
+// Command pimdl-convert demonstrates the LUT-NN Converter front-end
+// (paper §4.2): it trains a small transformer on a synthetic task, then
+// compares three deployments with every linear layer replaced —
+//
+//	original model (exact GEMM)
+//	baseline LUT-NN (clustering only)
+//	eLUT-NN (reconstruction loss + STE calibration)
+//
+// reproducing the accuracy ordering of Tables 4–5 end to end on one model.
+//
+// Usage:
+//
+//	pimdl-convert -kind nlp -v 8 -ct 4 -iters 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lutnn"
+	"repro/internal/nn"
+	"repro/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "nlp", "task kind: nlp or vision")
+	v := flag.Int("v", 8, "sub-vector length")
+	ct := flag.Int("ct", 4, "centroids per codebook")
+	epochs := flag.Int("epochs", 30, "training epochs")
+	iters := flag.Int("iters", 400, "eLUT-NN calibration iterations")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+
+	var mc nn.Config
+	var taskKind workload.TaskKind
+	switch *kind {
+	case "nlp":
+		mc = workload.AccuracyModel(nn.TokenInput, "demo-nlp")
+		taskKind = workload.MarkerTask
+	case "vision":
+		mc = workload.AccuracyModel(nn.PatchInput, "demo-vision")
+		taskKind = workload.TemplateTask
+	default:
+		fmt.Fprintf(os.Stderr, "pimdl-convert: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+
+	task := workload.NewTask(taskKind, mc, *seed)
+	if taskKind == workload.TemplateTask {
+		task.Scale, task.Noise = 0.35, 1.0
+	}
+	train := task.Batches(16, 8, 0)
+	test := task.Batches(8, 8, 1)
+
+	fmt.Printf("Training %s (%d layers, hidden %d) on a synthetic %s task...\n",
+		mc.Name, mc.Layers, mc.Hidden, *kind)
+	m := nn.NewModel(mc, *seed)
+	m.Train(train, nn.TrainConfig{LearningRate: 3e-3, Epochs: *epochs, ClipNorm: 1,
+		Progress: func(e int, loss float64) {
+			if e%10 == 0 {
+				fmt.Printf("  epoch %3d  loss %.4f\n", e, loss)
+			}
+		}})
+	fmt.Printf("Original accuracy: %.1f%%\n\n", m.Accuracy(test)*100)
+
+	conv := nn.ConvertConfig{
+		Params: lutnn.Params{V: *v, CT: *ct}, Seed: *seed,
+		Beta: 0.01, LearningRate: 3e-4, Iterations: *iters, TrainWeights: true,
+	}
+	fmt.Printf("Baseline LUT-NN conversion (V=%d, CT=%d, all %d linear layers replaced)...\n",
+		*v, *ct, mc.Layers*len(nn.Roles))
+	if err := m.ConvertBaseline(train, conv); err != nil {
+		fmt.Fprintln(os.Stderr, "pimdl-convert:", err)
+		os.Exit(1)
+	}
+	m.SetBackend(nn.BackendLUT)
+	fmt.Printf("Baseline LUT-NN accuracy: %.1f%%\n\n", m.Accuracy(test)*100)
+
+	fmt.Printf("eLUT-NN calibration (%d iterations, reconstruction loss + STE)...\n", *iters)
+	m.SetBackend(nn.BackendGEMM)
+	if err := m.CalibrateELUT(train, conv); err != nil {
+		fmt.Fprintln(os.Stderr, "pimdl-convert:", err)
+		os.Exit(1)
+	}
+	m.SetBackend(nn.BackendLUT)
+	fmt.Printf("eLUT-NN accuracy: %.1f%%\n\n", m.Accuracy(test)*100)
+
+	m.SetBackend(nn.BackendLUTInt8)
+	fmt.Printf("eLUT-NN + INT8 tables accuracy: %.1f%% (LUT footprint %d KiB)\n",
+		m.Accuracy(test)*100, m.LUTFootprintBytes(1)/1024)
+}

@@ -1,0 +1,140 @@
+// Command pimdl-export produces deployable PIM-DL artifacts:
+//
+//	pimdl-export -layer out.pdly        # convert a demo layer, write the
+//	                                    # binary bundle, reload and verify
+//	pimdl-export -trace out.json        # Chrome-trace (chrome://tracing /
+//	                                    # Perfetto) of a BERT-base PIM-DL
+//	                                    # schedule on UPMEM
+//
+// Both flags may be combined.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/autotuner"
+	"repro/internal/baseline"
+	"repro/internal/engine"
+	"repro/internal/lutnn"
+	"repro/internal/mapping"
+	"repro/internal/nn"
+	"repro/internal/pim"
+	"repro/internal/serial"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+func main() {
+	layerPath := flag.String("layer", "", "write a converted-layer bundle to this path")
+	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of a BERT-base schedule")
+	layers := flag.Int("layers", 2, "transformer layers in the traced schedule")
+	flag.Parse()
+	if *layerPath == "" && *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *layerPath != "" {
+		if err := exportLayer(*layerPath); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdl-export:", err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		if err := exportTrace(*tracePath, *layers); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdl-export:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func exportLayer(path string) error {
+	rng := rand.New(rand.NewSource(1))
+	const rows, h, f = 256, 128, 256
+	acts := tensor.RandN(rng, 1, rows, h)
+	w := tensor.RandN(rng, 1, f, h)
+	bias := tensor.RandN(rng, 1, f)
+	layer, err := lutnn.Convert(w, bias, acts, lutnn.Params{V: 4, CT: 16}, 2)
+	if err != nil {
+		return err
+	}
+	layer.EnableINT8()
+
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	enc := serial.NewEncoder(fh)
+	if err := enc.Layer(layer); err != nil {
+		return err
+	}
+	// Append the tuned mapping for the deployment shape.
+	wk := pim.Workload{N: rows, CB: h / 4, CT: 16, F: f, ElemBytes: 1}
+	tuned, err := autotuner.Tune(pim.UPMEM(), wk, mapping.SpaceConfig{MaxDivisors: 6})
+	if err != nil {
+		return err
+	}
+	if err := enc.Mapping(tuned.Mapping); err != nil {
+		return err
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		return err
+	}
+
+	// Verify by reloading.
+	rf, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	dec := serial.NewDecoder(rf)
+	loaded, err := dec.Layer()
+	if err != nil {
+		return fmt.Errorf("verify reload: %w", err)
+	}
+	m, err := dec.Mapping()
+	if err != nil {
+		return fmt.Errorf("verify mapping reload: %w", err)
+	}
+	if !tensor.Equal(loaded.Forward(acts), layer.Forward(acts)) {
+		return fmt.Errorf("verify: reloaded layer diverges")
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("wrote %s: %d KiB bundle (codebooks + FP32 + INT8 tables + bias + mapping %v), reload verified\n",
+		path, st.Size()/1024, m)
+	return nil
+}
+
+func exportTrace(path string, layers int) error {
+	model := nn.BERTBase
+	model.Layers = layers
+	e := engine.New()
+	rep, err := e.EstimatePIMDL(engine.Config{
+		Model: model, Batch: 64,
+		Params:   lutnn.Params{V: 4, CT: 16},
+		Platform: pim.UPMEM(), Host: baseline.UPMEMHost(),
+		HostPrec: baseline.INT8, LUTElemBytes: 1,
+		Space: mapping.SpaceConfig{MaxDivisors: 8},
+	})
+	if err != nil {
+		return err
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	if err := trace.Export(fh, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d operator events over %.3g s — open in chrome://tracing or Perfetto\n",
+		path, len(rep.Ops), rep.Total())
+	return nil
+}

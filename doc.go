@@ -1,0 +1,11 @@
+// Package repro is a pure-Go reproduction of "PIM-DL: Expanding the
+// Applicability of Commodity DRAM-PIMs for Deep Learning via
+// Algorithm-System Co-Optimization" (ASPLOS 2024).
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation; run it with:
+//
+//	go test -bench=. -benchmem
+package repro

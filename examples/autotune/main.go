@@ -1,0 +1,49 @@
+// Autotune: explore the LUT-operator mapping space of BERT-large's FFN1
+// layer on all three DRAM-PIM platforms — the workload of the paper's
+// Fig. 13 case study — and show how far the auto-tuner's pick lands from
+// the exhaustive optimum.
+//
+// Run with: go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/autotuner"
+	"repro/internal/mapping"
+	"repro/internal/pim"
+)
+
+func main() {
+	// BERT-large FFN1 at batch 64 × seq 512 with V=4, CT=16:
+	// (N, CB, CT, F) = (32768, 256, 16, 4096), as in paper §6.6.
+	space := mapping.SpaceConfig{MaxDivisors: 6}
+
+	for _, plat := range []*pim.Platform{pim.UPMEM(), pim.HBMPIM(), pim.AiM()} {
+		w := pim.Workload{N: 32768, CB: 256, CT: 16, F: 4096, ElemBytes: plat.ElemBytes}
+		res, err := autotuner.Tune(plat, w, space)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, _, bestT, worstT, n := autotuner.ExhaustiveBest(plat, w, space)
+
+		fmt.Printf("=== %s ===\n", plat.Name)
+		fmt.Printf("  mapping space:    %d legal mappings, best %.4g s, worst %.4g s (%.1fx gap)\n",
+			n, bestT, worstT, worstT/bestT)
+		fmt.Printf("  auto-tuner pick:  %v\n", res.Mapping)
+		fmt.Printf("  predicted %.4g s, simulated %.4g s → %.1f%% above exhaustive best\n",
+			res.Predicted.Total(), res.Simulated.Total(),
+			(res.Simulated.Total()/bestT-1)*100)
+		fmt.Printf("  cost-model error on the pick: %.1f%%\n\n",
+			relErr(res.Predicted.Total(), res.Simulated.Total())*100)
+	}
+}
+
+func relErr(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}

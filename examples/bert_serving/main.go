@@ -1,0 +1,63 @@
+// BERT serving: estimate batched BERT-base/large inference on the
+// simulated UPMEM PIM-DIMM platform — the paper's main evaluation
+// scenario (Fig. 10) — and compare against the CPU server and GEMM-based
+// inference on the same PIM hardware.
+//
+// Run with: go run ./examples/bert_serving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/lutnn"
+	"repro/internal/nn"
+)
+
+func main() {
+	sys := core.NewUPMEMSystem()
+	cpu := baseline.CPUServer()
+
+	for _, model := range []nn.Config{nn.BERTBase, nn.BERTLarge} {
+		const batch = 64
+		params := lutnn.Params{V: 4, CT: 16}
+
+		dl, err := sys.Estimate(model, batch, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gemmPIM, err := sys.EstimateGEMMBaseline(model, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		e := engine.New()
+		cpuRep := e.EstimateHost(engine.Config{
+			Model: model, Batch: batch, Host: cpu, HostPrec: baseline.INT8,
+		})
+
+		fmt.Printf("=== %s (batch %d, seq %d, V=%d CT=%d) ===\n",
+			model.Name, batch, model.SeqLen, params.V, params.CT)
+		fmt.Printf("  PIM-DL:    %7.2f s  (%.1f seq/s)\n", dl.Total(), dl.Throughput())
+		fmt.Printf("  CPU INT8:  %7.2f s  → PIM-DL speedup %.2fx\n",
+			cpuRep.Total(), cpuRep.Total()/dl.Total())
+		fmt.Printf("  PIM-GEMM:  %7.2f s  → PIM-DL speedup %.2fx\n",
+			gemmPIM.Total(), gemmPIM.Total()/dl.Total())
+
+		lut := dl.ClassTime(engine.ClassLUT)
+		ccs := dl.ClassTime(engine.ClassCCS)
+		other := dl.ClassTime(engine.ClassOther)
+		fmt.Printf("  breakdown: LUT %.1f%% | CCS %.1f%% | Other %.1f%%\n",
+			lut/dl.Total()*100, ccs/dl.Total()*100, other/dl.Total()*100)
+
+		eDL := energy.Estimate(dl, sys.Host, sys.Platform)
+		eCPU := energy.Estimate(cpuRep, cpu, nil)
+		fmt.Printf("  energy:    PIM-DL %.0f J vs CPU INT8 %.0f J → %.2fx more efficient\n\n",
+			eDL, eCPU, eCPU/eDL)
+		fmt.Println(dl.Timeline(72, 1))
+	}
+}

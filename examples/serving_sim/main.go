@@ -1,0 +1,71 @@
+// Serving simulation: put PIM-DL and the CPU baseline behind the same
+// request stream and batching policy, and compare throughput and tail
+// latency under increasing load — the cloud-serving scenario that
+// motivates the paper (§1).
+//
+// Run with: go run ./examples/serving_sim
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/lutnn"
+	"repro/internal/nn"
+	"repro/internal/serving"
+)
+
+func main() {
+	model := nn.BERTBase
+	params := lutnn.Params{V: 4, CT: 16}
+	batches := []int{8, 16, 32, 64, 128}
+
+	// Latency models from the engine's estimates at sampled batch sizes.
+	sys := core.NewUPMEMSystem()
+	e := engine.New()
+	var pimSecs, cpuSecs []float64
+	for _, b := range batches {
+		rep, err := sys.Estimate(model, b, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pimSecs = append(pimSecs, rep.Total())
+		cpu := e.EstimateHost(engine.Config{
+			Model: model, Batch: b,
+			Host: baseline.CPUServer(), HostPrec: baseline.INT8,
+		})
+		cpuSecs = append(cpuSecs, cpu.Total())
+	}
+	pimLat, err := serving.InterpolatedLatency(batches, pimSecs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuLat, err := serving.InterpolatedLatency(batches, cpuSecs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pol := serving.Policy{MaxBatch: 128, MaxWait: 0.5}
+	fmt.Printf("BERT-base serving, policy max-batch %d / max-wait %.1fs\n\n", pol.MaxBatch, pol.MaxWait)
+	fmt.Printf("%-12s  %-24s  %-24s\n", "load (req/s)", "PIM-DL  thr | p50 | p99", "CPU INT8 thr | p50 | p99")
+	for _, rate := range []float64{2, 5, 10, 20} {
+		arr := serving.PoissonArrivals(rand.New(rand.NewSource(1)), rate, 2000)
+		pim, err := serving.Simulate(arr, pimLat, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpu, err := serving.Simulate(arr, cpuLat, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12.0f  %5.1f | %5.1fs | %5.1fs     %5.1f | %5.1fs | %5.1fs\n",
+			rate,
+			pim.Throughput(), pim.Percentile(50), pim.Percentile(99),
+			cpu.Throughput(), cpu.Percentile(50), cpu.Percentile(99))
+	}
+	fmt.Println("\n(thr = served req/s; p50/p99 = request latency percentiles)")
+}

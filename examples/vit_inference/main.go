@@ -1,0 +1,51 @@
+// ViT inference: train a small ViT-style patch transformer on a synthetic
+// image task, convert every linear layer with eLUT-NN calibration, and run
+// real inference through the LUT backends — including INT8 tables, the
+// datatype PIM-DL deploys on UPMEM.
+//
+// Run with: go run ./examples/vit_inference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lutnn"
+	"repro/internal/nn"
+	"repro/internal/workload"
+)
+
+func main() {
+	mc := workload.AccuracyModel(nn.PatchInput, "ViT-demo")
+	task := workload.NewTask(workload.TemplateTask, mc, 11)
+	task.Scale, task.Noise = 0.35, 1.0
+	train := task.Batches(16, 8, 0)
+	test := task.Batches(8, 8, 1)
+
+	fmt.Printf("Training %d-layer patch transformer (hidden %d, %d classes)...\n",
+		mc.Layers, mc.Hidden, mc.Classes)
+	m := nn.NewModel(mc, 11)
+	m.Train(train, nn.TrainConfig{LearningRate: 3e-3, Epochs: 40, ClipNorm: 1})
+	fmt.Printf("Original accuracy:            %5.1f%%\n", m.Accuracy(test)*100)
+
+	conv := nn.ConvertConfig{
+		Params: lutnn.Params{V: 8, CT: 4}, Seed: 12,
+		Beta: 0.01, LearningRate: 3e-4, Iterations: 400, TrainWeights: true,
+	}
+	if err := m.ConvertBaseline(train, conv); err != nil {
+		log.Fatal(err)
+	}
+	m.SetBackend(nn.BackendLUT)
+	fmt.Printf("Baseline LUT-NN accuracy:     %5.1f%%  (clustering only)\n", m.Accuracy(test)*100)
+
+	m.SetBackend(nn.BackendGEMM)
+	if err := m.CalibrateELUT(train, conv); err != nil {
+		log.Fatal(err)
+	}
+	m.SetBackend(nn.BackendLUT)
+	fmt.Printf("eLUT-NN accuracy:             %5.1f%%  (reconstruction loss + STE)\n", m.Accuracy(test)*100)
+
+	m.SetBackend(nn.BackendLUTInt8)
+	fmt.Printf("eLUT-NN + INT8 tables:        %5.1f%%  (%d KiB of tables)\n",
+		m.Accuracy(test)*100, m.LUTFootprintBytes(1)/1024)
+}

@@ -1,0 +1,617 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// MatMul returns a·b with gradients for both operands.
+func MatMul(a, b *Value) *Value {
+	out := node(tensor.MatMul(a.T, b.T), a, b)
+	out.back = func() {
+		if a.requiresGrad {
+			// dA = dC·Bᵀ (MatMulT transposes its second operand).
+			tensor.AddInPlace(a.ensureGrad(), tensor.MatMulT(out.Grad, b.T))
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.ensureGrad(), tensor.MatMul(tensor.Transpose(a.T), out.Grad))
+		}
+	}
+	return out
+}
+
+// MatMulT returns a·bᵀ for a (N×K) and b (M×K). This is the natural layout
+// for linear layers whose weight is stored (outFeatures × inFeatures).
+func MatMulT(a, b *Value) *Value {
+	out := node(tensor.MatMulT(a.T, b.T), a, b)
+	out.back = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.ensureGrad(), tensor.MatMul(out.Grad, b.T))
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.ensureGrad(), tensor.MatMul(tensor.Transpose(out.Grad), a.T))
+		}
+	}
+	return out
+}
+
+// Add returns a + b (same shape).
+func Add(a, b *Value) *Value {
+	out := node(tensor.Add(a.T, b.T), a, b)
+	out.back = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.ensureGrad(), out.Grad)
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.ensureGrad(), out.Grad)
+		}
+	}
+	return out
+}
+
+// Sub returns a − b.
+func Sub(a, b *Value) *Value {
+	out := node(tensor.Sub(a.T, b.T), a, b)
+	out.back = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.ensureGrad(), out.Grad)
+		}
+		if b.requiresGrad {
+			tensor.AXPY(b.ensureGrad(), -1, out.Grad)
+		}
+	}
+	return out
+}
+
+// Mul returns a ⊙ b elementwise.
+func Mul(a, b *Value) *Value {
+	out := node(tensor.Mul(a.T, b.T), a, b)
+	out.back = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.ensureGrad(), tensor.Mul(out.Grad, b.T))
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.ensureGrad(), tensor.Mul(out.Grad, a.T))
+		}
+	}
+	return out
+}
+
+// Scale returns s·a.
+func Scale(a *Value, s float32) *Value {
+	out := node(tensor.Scale(a.T, s), a)
+	out.back = func() {
+		if a.requiresGrad {
+			tensor.AXPY(a.ensureGrad(), s, out.Grad)
+		}
+	}
+	return out
+}
+
+// AddBias adds a length-M bias row vector to every row of an N×M matrix.
+func AddBias(a, bias *Value) *Value {
+	res := a.T.Clone()
+	tensor.AddBias(res, bias.T)
+	out := node(res, a, bias)
+	out.back = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.ensureGrad(), out.Grad)
+		}
+		if bias.requiresGrad {
+			g := bias.ensureGrad()
+			n, m := out.Grad.Dim(0), out.Grad.Dim(1)
+			for i := 0; i < n; i++ {
+				row := out.Grad.Data[i*m : (i+1)*m]
+				for j, v := range row {
+					g.Data[j] += v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GELU applies the tanh-approximated GELU elementwise.
+func GELU(a *Value) *Value {
+	out := node(tensor.GELU(a.T), a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		const c0 = 0.7978845608028654
+		const c1 = 0.044715
+		for i, x := range a.T.Data {
+			xf := float64(x)
+			u := c0 * (xf + c1*xf*xf*xf)
+			th := math.Tanh(u)
+			du := c0 * (1 + 3*c1*xf*xf)
+			d := 0.5*(1+th) + 0.5*xf*(1-th*th)*du
+			g.Data[i] += out.Grad.Data[i] * float32(d)
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0,x) elementwise.
+func ReLU(a *Value) *Value {
+	out := node(tensor.ReLU(a.T), a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i, x := range a.T.Data {
+			if x > 0 {
+				g.Data[i] += out.Grad.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Value) *Value {
+	res := a.T.Clone()
+	for i, v := range res.Data {
+		res.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	out := node(res, a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i, y := range out.T.Data {
+			g.Data[i] += out.Grad.Data[i] * (1 - y*y)
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies softmax along each row of a rank-2 value.
+func SoftmaxRows(a *Value) *Value {
+	out := node(tensor.SoftmaxRows(a.T), a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		n, m := out.T.Dim(0), out.T.Dim(1)
+		for i := 0; i < n; i++ {
+			s := out.T.Data[i*m : (i+1)*m]
+			dy := out.Grad.Data[i*m : (i+1)*m]
+			var dot float32
+			for j := range s {
+				dot += dy[j] * s[j]
+			}
+			gr := g.Data[i*m : (i+1)*m]
+			for j := range s {
+				gr[j] += s[j] * (dy[j] - dot)
+			}
+		}
+	}
+	return out
+}
+
+// LayerNorm normalizes each row of a and applies the affine parameters
+// gamma and beta (both length = row width).
+func LayerNorm(a, gamma, beta *Value, eps float32) *Value {
+	n, m := a.T.Dim(0), a.T.Dim(1)
+	res := tensor.New(n, m)
+	xhat := tensor.New(n, m)
+	invStd := make([]float32, n)
+	for i := 0; i < n; i++ {
+		src := a.T.Data[i*m : (i+1)*m]
+		var mean float32
+		for _, v := range src {
+			mean += v
+		}
+		mean /= float32(m)
+		var varSum float32
+		for _, v := range src {
+			d := v - mean
+			varSum += d * d
+		}
+		inv := 1 / float32(math.Sqrt(float64(varSum/float32(m)+eps)))
+		invStd[i] = inv
+		for j, v := range src {
+			xh := (v - mean) * inv
+			xhat.Data[i*m+j] = xh
+			res.Data[i*m+j] = xh*gamma.T.Data[j] + beta.T.Data[j]
+		}
+	}
+	out := node(res, a, gamma, beta)
+	out.back = func() {
+		if gamma.requiresGrad {
+			g := gamma.ensureGrad()
+			for i := 0; i < n; i++ {
+				for j := 0; j < m; j++ {
+					g.Data[j] += out.Grad.Data[i*m+j] * xhat.Data[i*m+j]
+				}
+			}
+		}
+		if beta.requiresGrad {
+			g := beta.ensureGrad()
+			for i := 0; i < n; i++ {
+				for j := 0; j < m; j++ {
+					g.Data[j] += out.Grad.Data[i*m+j]
+				}
+			}
+		}
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i := 0; i < n; i++ {
+				dy := out.Grad.Data[i*m : (i+1)*m]
+				xh := xhat.Data[i*m : (i+1)*m]
+				// dxhat = dy * gamma
+				var sumD, sumDX float32
+				dxhat := make([]float32, m)
+				for j := range dxhat {
+					dxhat[j] = dy[j] * gamma.T.Data[j]
+					sumD += dxhat[j]
+					sumDX += dxhat[j] * xh[j]
+				}
+				inv := invStd[i]
+				fm := float32(m)
+				gr := g.Data[i*m : (i+1)*m]
+				for j := range dxhat {
+					gr[j] += inv * (dxhat[j] - sumD/fm - xh[j]*sumDX/fm)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Embedding gathers rows of table (V×D) at the given ids, producing an
+// (len(ids)×D) matrix. Gradients scatter-add back into the table.
+func Embedding(table *Value, ids []int) *Value {
+	d := table.T.Dim(1)
+	res := tensor.New(len(ids), d)
+	for i, id := range ids {
+		copy(res.Data[i*d:(i+1)*d], table.T.Row(id))
+	}
+	out := node(res, table)
+	out.back = func() {
+		if !table.requiresGrad {
+			return
+		}
+		g := table.ensureGrad()
+		for i, id := range ids {
+			dst := g.Data[id*d : (id+1)*d]
+			src := out.Grad.Data[i*d : (i+1)*d]
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	return out
+}
+
+// MeanRows averages the rows of an N×D matrix into a 1×D matrix (used for
+// mean pooling before a classifier head).
+func MeanRows(a *Value) *Value {
+	n, d := a.T.Dim(0), a.T.Dim(1)
+	res := tensor.New(1, d)
+	for i := 0; i < n; i++ {
+		row := a.T.Data[i*d : (i+1)*d]
+		for j, v := range row {
+			res.Data[j] += v
+		}
+	}
+	inv := 1 / float32(n)
+	for j := range res.Data {
+		res.Data[j] *= inv
+	}
+	out := node(res, a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i := 0; i < n; i++ {
+			gr := g.Data[i*d : (i+1)*d]
+			for j := range gr {
+				gr[j] += out.Grad.Data[j] * inv
+			}
+		}
+	}
+	return out
+}
+
+// PoolRowGroups mean-pools groups of `group` consecutive rows: an
+// (B·group)×D input becomes B×D. Used to pool per-token features into
+// per-sequence features.
+func PoolRowGroups(a *Value, group int) *Value {
+	n, d := a.T.Dim(0), a.T.Dim(1)
+	if n%group != 0 {
+		panic("autograd: PoolRowGroups group does not divide rows")
+	}
+	b := n / group
+	res := tensor.New(b, d)
+	for i := 0; i < n; i++ {
+		dst := res.Data[(i/group)*d : (i/group+1)*d]
+		src := a.T.Data[i*d : (i+1)*d]
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+	inv := 1 / float32(group)
+	for j := range res.Data {
+		res.Data[j] *= inv
+	}
+	out := node(res, a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i := 0; i < n; i++ {
+			gr := g.Data[i*d : (i+1)*d]
+			src := out.Grad.Data[(i/group)*d : (i/group+1)*d]
+			for j := range gr {
+				gr[j] += src[j] * inv
+			}
+		}
+	}
+	return out
+}
+
+// STE is the straight-through estimator (paper Eq. 2): the forward value is
+// the externally computed tensor `forward` (e.g. the closest-centroid
+// approximation Â of the activations), while the backward pass treats
+// ∂forward/∂of as identity, passing gradients straight through to `of`.
+func STE(forward *tensor.Tensor, of *Value) *Value {
+	out := node(forward, of)
+	out.back = func() {
+		if of.requiresGrad {
+			tensor.AddInPlace(of.ensureGrad(), out.Grad)
+		}
+	}
+	return out
+}
+
+// Reshape reinterprets a's contiguous data with a new shape (same element
+// count). Gradients flow through element-for-element.
+func Reshape(a *Value, shape ...int) *Value {
+	out := node(a.T.Reshape(shape...), a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i, v := range out.Grad.Data {
+			g.Data[i] += v
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [lo, hi) of a rank-2 value; gradients
+// scatter-add back into the source columns. Used to split a fused QKV
+// projection into its three heads.
+func SliceCols(a *Value, lo, hi int) *Value {
+	n, m := a.T.Dim(0), a.T.Dim(1)
+	w := hi - lo
+	res := tensor.New(n, w)
+	for i := 0; i < n; i++ {
+		copy(res.Data[i*w:(i+1)*w], a.T.Data[i*m+lo:i*m+hi])
+	}
+	out := node(res, a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i := 0; i < n; i++ {
+			src := out.Grad.Data[i*w : (i+1)*w]
+			dst := g.Data[i*m+lo : i*m+hi]
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	return out
+}
+
+// CrossEntropyLogits computes mean cross-entropy between row logits and
+// integer class labels, returning a scalar value.
+func CrossEntropyLogits(logits *Value, labels []int) *Value {
+	n, c := logits.T.Dim(0), logits.T.Dim(1)
+	if len(labels) != n {
+		panic("autograd: label count mismatch")
+	}
+	probs := tensor.SoftmaxRows(logits.T)
+	var loss float64
+	for i, y := range labels {
+		p := float64(probs.Data[i*c+y])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	loss /= float64(n)
+	out := node(tensor.FromSlice([]float32{float32(loss)}, 1), logits)
+	out.back = func() {
+		if !logits.requiresGrad {
+			return
+		}
+		g := logits.ensureGrad()
+		scale := out.Grad.Data[0] / float32(n)
+		for i, y := range labels {
+			row := probs.Data[i*c : (i+1)*c]
+			gr := g.Data[i*c : (i+1)*c]
+			for j, p := range row {
+				d := p
+				if j == y {
+					d -= 1
+				}
+				gr[j] += d * scale
+			}
+		}
+	}
+	return out
+}
+
+// MSE computes mean((a−b)²) as a scalar value with gradients into both
+// operands.
+func MSE(a, b *Value) *Value {
+	if a.T.Size() != b.T.Size() {
+		panic("autograd: MSE size mismatch")
+	}
+	var loss float64
+	for i := range a.T.Data {
+		d := float64(a.T.Data[i] - b.T.Data[i])
+		loss += d * d
+	}
+	n := float64(a.T.Size())
+	loss /= n
+	out := node(tensor.FromSlice([]float32{float32(loss)}, 1), a, b)
+	out.back = func() {
+		scale := out.Grad.Data[0] * 2 / float32(n)
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i := range a.T.Data {
+				g.Data[i] += scale * (a.T.Data[i] - b.T.Data[i])
+			}
+		}
+		if b.requiresGrad {
+			g := b.ensureGrad()
+			for i := range b.T.Data {
+				g.Data[i] += scale * (b.T.Data[i] - a.T.Data[i])
+			}
+		}
+	}
+	return out
+}
+
+// SumSquares returns Σx² as a scalar value (used for the reconstruction
+// loss ‖AW − ÂW‖² in Eq. 1).
+func SumSquares(a *Value) *Value {
+	var s float64
+	for _, v := range a.T.Data {
+		s += float64(v) * float64(v)
+	}
+	out := node(tensor.FromSlice([]float32{float32(s)}, 1), a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		scale := out.Grad.Data[0] * 2
+		for i, v := range a.T.Data {
+			g.Data[i] += scale * v
+		}
+	}
+	return out
+}
+
+// Sigmoid applies 1/(1+e^{−x}) elementwise.
+func Sigmoid(a *Value) *Value {
+	res := a.T.Clone()
+	for i, v := range res.Data {
+		res.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	out := node(res, a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i, y := range out.T.Data {
+			g.Data[i] += out.Grad.Data[i] * y * (1 - y)
+		}
+	}
+	return out
+}
+
+// Dropout zeroes each element with probability p during training and
+// scales the survivors by 1/(1−p) (inverted dropout). With rng == nil it
+// is the identity (inference mode).
+func Dropout(a *Value, p float64, rng *rand.Rand) *Value {
+	if rng == nil || p <= 0 {
+		return a
+	}
+	if p >= 1 {
+		panic("autograd: dropout probability must be < 1")
+	}
+	mask := make([]float32, a.T.Size())
+	scale := float32(1 / (1 - p))
+	res := a.T.Clone()
+	for i := range mask {
+		if rng.Float64() >= p {
+			mask[i] = scale
+		}
+		res.Data[i] *= mask[i]
+	}
+	out := node(res, a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i, m := range mask {
+			g.Data[i] += out.Grad.Data[i] * m
+		}
+	}
+	return out
+}
+
+// LogSoftmaxRows applies log-softmax along each row (numerically stable).
+func LogSoftmaxRows(a *Value) *Value {
+	n, m := a.T.Dim(0), a.T.Dim(1)
+	res := tensor.New(n, m)
+	soft := tensor.SoftmaxRows(a.T)
+	for i := range res.Data {
+		res.Data[i] = float32(math.Log(float64(soft.Data[i]) + 1e-20))
+	}
+	out := node(res, a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i := 0; i < n; i++ {
+			dy := out.Grad.Data[i*m : (i+1)*m]
+			s := soft.Data[i*m : (i+1)*m]
+			var sum float32
+			for _, v := range dy {
+				sum += v
+			}
+			gr := g.Data[i*m : (i+1)*m]
+			for j := range gr {
+				gr[j] += dy[j] - s[j]*sum
+			}
+		}
+	}
+	return out
+}
+
+// GatherRows selects the given rows of a rank-2 value; gradients
+// scatter-add back. Unlike Embedding, the source is any intermediate
+// value, not a parameter table.
+func GatherRows(a *Value, rows []int) *Value {
+	d := a.T.Dim(1)
+	res := tensor.New(len(rows), d)
+	for i, r := range rows {
+		copy(res.Data[i*d:(i+1)*d], a.T.Row(r))
+	}
+	out := node(res, a)
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i, r := range rows {
+			dst := g.Data[r*d : (r+1)*d]
+			src := out.Grad.Data[i*d : (i+1)*d]
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Package autotuner implements PIM-DL's Algorithm 1: for each legal
+// sub-LUT partition it estimates the partition overhead, searches the
+// micro-kernel space with the analytical cost model, and keeps the mapping
+// with the smallest total predicted latency.
+package autotuner
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/mapping"
+	"repro/internal/pim"
+)
+
+// Result is the tuner's output for one LUT operator.
+type Result struct {
+	Mapping   pim.Mapping
+	Predicted pim.Timing // cost-model estimate for the chosen mapping
+	Simulated pim.Timing // simulator timing for the chosen mapping
+	// Evaluated is the number of legal mappings scored.
+	Evaluated int
+}
+
+// ErrNoLegalMapping is returned when the workload cannot be placed on the
+// platform at all (e.g. tiles never fit the on-chip buffer).
+var ErrNoLegalMapping = errors.New("autotuner: no legal mapping")
+
+// Tune searches the mapping space of w on p (Algorithm 1) and returns the
+// best mapping by predicted cost.
+func Tune(p *pim.Platform, w pim.Workload, cfg mapping.SpaceConfig) (*Result, error) {
+	parts := mapping.SubLUTPartitions(p, w, cfg)
+	if len(parts) == 0 {
+		return nil, ErrNoLegalMapping
+	}
+
+	type partBest struct {
+		m     pim.Mapping
+		cost  float64
+		t     pim.Timing
+		count int
+		ok    bool
+	}
+	results := make([]partBest, len(parts))
+
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, sf := range parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, ns, fs int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			best := partBest{cost: math.Inf(1)}
+			mapping.MicroKernels(p, w, ns, fs, cfg, func(m pim.Mapping) {
+				best.count++
+				t := mapping.Cost(p, w, m)
+				if c := t.Total(); c < best.cost {
+					best.cost, best.m, best.t, best.ok = c, m, t, true
+				}
+			})
+			results[i] = best
+		}(i, sf[0], sf[1])
+	}
+	wg.Wait()
+
+	out := &Result{}
+	bestCost := math.Inf(1)
+	found := false
+	for _, r := range results {
+		out.Evaluated += r.count
+		if r.ok && r.cost < bestCost {
+			bestCost = r.cost
+			out.Mapping = r.m
+			out.Predicted = r.t
+			found = true
+		}
+	}
+	if !found {
+		return nil, ErrNoLegalMapping
+	}
+	out.Simulated = pim.SimTiming(p, w, out.Mapping)
+	return out, nil
+}
+
+// ExhaustiveBest scores every legal mapping with the *simulator* timing
+// and returns the best and worst (used by the Fig. 13 mapping-space
+// visualization to quantify how close the tuner's pick is to the true
+// optimum).
+func ExhaustiveBest(p *pim.Platform, w pim.Workload, cfg mapping.SpaceConfig) (best, worst pim.Mapping, bestT, worstT float64, n int) {
+	bestT = math.Inf(1)
+	worstT = 0
+	mapping.Enumerate(p, w, cfg, func(m pim.Mapping) {
+		n++
+		t := pim.SimTiming(p, w, m).Total()
+		if t < bestT {
+			bestT, best = t, m
+		}
+		if t > worstT {
+			worstT, worst = t, m
+		}
+	})
+	return best, worst, bestT, worstT, n
+}
+
+// RandomSearch scores `budget` uniformly sampled legal mappings with the
+// cost model and returns the best. It trades optimality for a bounded
+// search cost: on workloads whose divisor structure explodes the
+// exhaustive space (large composite N and F), Algorithm 1 can take
+// seconds while random search with a few thousand samples typically lands
+// within a few percent of the exhaustive pick.
+func RandomSearch(p *pim.Platform, w pim.Workload, cfg mapping.SpaceConfig, budget int, seed int64) (*Result, error) {
+	var pool []pim.Mapping
+	mapping.Enumerate(p, w, cfg, func(m pim.Mapping) {
+		pool = append(pool, m)
+	})
+	if len(pool) == 0 {
+		return nil, ErrNoLegalMapping
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if budget > len(pool) {
+		budget = len(pool)
+	}
+	out := &Result{}
+	bestCost := math.Inf(1)
+	for i := 0; i < budget; i++ {
+		m := pool[rng.Intn(len(pool))]
+		t := mapping.Cost(p, w, m)
+		out.Evaluated++
+		if c := t.Total(); c < bestCost {
+			bestCost = c
+			out.Mapping = m
+			out.Predicted = t
+		}
+	}
+	out.Simulated = pim.SimTiming(p, w, out.Mapping)
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package autotuner
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lutnn"
+	"repro/internal/mapping"
+	"repro/internal/pim"
+	"repro/internal/tensor"
+)
+
+func TestTuneFindsLegalMapping(t *testing.T) {
+	p := pim.UPMEM()
+	w := pim.Workload{N: 1024, CB: 128, CT: 16, F: 1024, ElemBytes: 1}
+	res, err := Tune(p, w, mapping.SpaceConfig{MaxDivisors: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Mapping.Validate(p, w); err != nil {
+		t.Fatalf("tuner returned invalid mapping: %v", err)
+	}
+	if res.Evaluated == 0 {
+		t.Fatal("tuner evaluated nothing")
+	}
+	if res.Predicted.Total() <= 0 || res.Simulated.Total() <= 0 {
+		t.Fatal("non-positive timings")
+	}
+	t.Logf("best %v predicted %.3gs simulated %.3gs over %d mappings",
+		res.Mapping, res.Predicted.Total(), res.Simulated.Total(), res.Evaluated)
+}
+
+func TestTunerNearExhaustiveOptimum(t *testing.T) {
+	// Paper §6.6: the auto-tuner's pick suffers ≤6% degradation versus the
+	// true best mapping. Our analog: the tuner's (model-chosen) mapping is
+	// within 25% of the simulator-exhaustive best on a reduced space.
+	p := pim.UPMEM()
+	w := pim.Workload{N: 512, CB: 64, CT: 16, F: 512, ElemBytes: 1}
+	cfg := mapping.SpaceConfig{MaxDivisors: 4}
+	res, err := Tune(p, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, bestT, worstT, n := ExhaustiveBest(p, w, cfg)
+	chosen := res.Simulated.Total()
+	t.Logf("tuner %.4gs, exhaustive best %.4gs, worst %.4gs (%d mappings)", chosen, bestT, worstT, n)
+	if chosen > bestT*1.25 {
+		t.Fatalf("tuner pick %.3gs vs exhaustive best %.3gs (>25%% off)", chosen, bestT)
+	}
+	if worstT < bestT {
+		t.Fatal("exhaustive search broken")
+	}
+}
+
+func TestTuneErrorsWhenImpossible(t *testing.T) {
+	// A platform with one PE and a workload too big for its bank.
+	p := pim.UPMEM()
+	p.NumPE = 1
+	p.MRAMBytes = 1 << 10
+	w := pim.Workload{N: 4096, CB: 512, CT: 16, F: 4096, ElemBytes: 1}
+	if _, err := Tune(p, w, mapping.SpaceConfig{MaxDivisors: 3}); err == nil {
+		t.Fatal("expected ErrNoLegalMapping")
+	}
+}
+
+func TestTunedMappingExecutesFunctionally(t *testing.T) {
+	// End-to-end: tune a small kernel, execute it with the tuned mapping,
+	// verify bit-exactness against the reference lookup.
+	rng := rand.New(rand.NewSource(1))
+	const n, h, f, v, ct = 64, 32, 48, 4, 8
+	acts := tensor.RandN(rng, 1, n, h)
+	cbs, err := lutnn.BuildCodebooks(acts, lutnn.Params{V: v, CT: ct}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := tensor.RandN(rng, 1, f, h)
+	tbl, err := lutnn.BuildLUT(cbs, wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := cbs.Search(acts)
+
+	p := pim.UPMEM()
+	w := pim.Workload{N: n, CB: h / v, CT: ct, F: f, ElemBytes: 4}
+	res, err := Tune(p, w, mapping.SpaceConfig{MaxDivisors: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := pim.ExecuteLUT(p, w, res.Mapping, idx, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tbl.Lookup(idx, n)
+	if tensor.MaxAbsDiff(exec.Output, want) > 1e-5 {
+		t.Fatal("tuned mapping produced wrong results")
+	}
+}
+
+func TestTunerPrefersCheaperPlatformMapping(t *testing.T) {
+	// Sanity: on a platform with brutal per-DMA setup cost the tuner must
+	// not pick fine-grain loading with a tiny load tile.
+	p := pim.UPMEM()
+	p.DMASetup = 1e-3
+	w := pim.Workload{N: 512, CB: 64, CT: 16, F: 512, ElemBytes: 1}
+	res, err := Tune(p, w, mapping.SpaceConfig{MaxDivisors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Scheme == pim.FineLoad && res.Mapping.FLoadTile == 1 {
+		t.Fatalf("tuner picked pathological mapping %v", res.Mapping)
+	}
+}
+
+func TestRandomSearchNearExhaustive(t *testing.T) {
+	p := pim.UPMEM()
+	w := pim.Workload{N: 512, CB: 64, CT: 16, F: 512, ElemBytes: 1}
+	cfg := mapping.SpaceConfig{MaxDivisors: 4}
+	full, err := Tune(p, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomSearch(p, w, cfg, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rnd.Mapping.Validate(p, w); err != nil {
+		t.Fatalf("random search returned invalid mapping: %v", err)
+	}
+	ratio := rnd.Simulated.Total() / full.Simulated.Total()
+	t.Logf("random search %.4gs vs exhaustive %.4gs (%.2fx)", rnd.Simulated.Total(), full.Simulated.Total(), ratio)
+	if ratio > 2.0 {
+		t.Fatalf("random search %.2fx off exhaustive", ratio)
+	}
+}
+
+func TestRandomSearchEmptySpace(t *testing.T) {
+	p := pim.UPMEM()
+	p.NumPE = 1
+	p.MRAMBytes = 1 << 10
+	w := pim.Workload{N: 4096, CB: 512, CT: 16, F: 4096, ElemBytes: 1}
+	if _, err := RandomSearch(p, w, mapping.SpaceConfig{MaxDivisors: 3}, 100, 1); err == nil {
+		t.Fatal("expected ErrNoLegalMapping")
+	}
+}

@@ -1,0 +1,270 @@
+// Package dpu is a cycle-approximate simulator of a single UPMEM DPU
+// executing the LUT reduce micro kernel. Where the pim package models a
+// PE with calibrated aggregate rates, this package derives those rates
+// from first principles: an in-order pipeline issuing one instruction per
+// cycle round-robin across hardware tasklets, and a single DMA engine
+// moving data between the MRAM bank and WRAM.
+//
+// Two well-known DPU behaviours emerge rather than being assumed:
+//
+//   - the pipeline only saturates when at least PipelineDepth (11)
+//     tasklets are runnable — fewer tasklets leave issue slots empty;
+//   - DMA transfers overlap with compute from *other* tasklets, so the
+//     kernel is bound by max(instruction stream, DMA stream) once enough
+//     tasklets are in flight.
+//
+// The microbenchmark in this package reproduces the pim.UPMEM()
+// ReduceCycles calibration (see TestDerivedReduceRateMatchesPlatform).
+package dpu
+
+import "fmt"
+
+// Config describes the DPU microarchitecture.
+type Config struct {
+	// Tasklets is the number of hardware threads the kernel launches
+	// (UPMEM hardware supports 24; ≥11 saturate the pipeline).
+	Tasklets int
+	// PipelineDepth is the issue-to-issue latency of one tasklet: after
+	// issuing, a tasklet cannot issue again for this many cycles.
+	PipelineDepth int
+	// DMASetupCycles is the fixed cost of one MRAM↔WRAM transfer.
+	DMASetupCycles int
+	// DMABytesPerCycle is the DMA engine's streaming rate.
+	DMABytesPerCycle float64
+}
+
+// UPMEMv1 returns the DPU generation the paper evaluates: 24 available
+// tasklets (kernels typically launch 16), an 11-stage pipeline, and a DMA
+// engine that sustains ≈1.8 B/cycle (628 MB/s at 350 MHz).
+func UPMEMv1() Config {
+	return Config{
+		Tasklets:         16,
+		PipelineDepth:    11,
+		DMASetupCycles:   77,
+		DMABytesPerCycle: 1.8,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Tasklets <= 0 || c.PipelineDepth <= 0 {
+		return fmt.Errorf("dpu: non-positive tasklets/pipeline")
+	}
+	if c.DMABytesPerCycle <= 0 {
+		return fmt.Errorf("dpu: non-positive DMA rate")
+	}
+	return nil
+}
+
+// OpKind distinguishes tasklet program steps.
+type OpKind int
+
+const (
+	// Compute issues N pipeline instructions.
+	Compute OpKind = iota
+	// DMA requests a bank↔buffer transfer of N bytes and blocks the
+	// tasklet until it completes.
+	DMA
+)
+
+// Op is one step of a tasklet program.
+type Op struct {
+	Kind OpKind
+	N    int // instructions (Compute) or bytes (DMA)
+}
+
+// Program is the per-tasklet instruction stream. All tasklets run the
+// same program (the LUT kernel splits rows across tasklets evenly).
+type Program []Op
+
+// Stats is the simulation outcome.
+type Stats struct {
+	Cycles       int64
+	Instructions int64
+	DMABytes     int64
+	DMATransfers int64
+	// IssueUtil is the fraction of cycles the pipeline issued.
+	IssueUtil float64
+	// DMAUtil is the fraction of cycles the DMA engine was busy.
+	DMAUtil float64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+type taskletState struct {
+	pc        int   // current op index
+	remaining int   // instructions left in current Compute op
+	readyAt   int64 // next cycle this tasklet may issue
+	blocked   bool  // waiting on DMA completion
+	done      bool
+}
+
+// Run simulates all tasklets executing prog and returns the statistics.
+func Run(cfg Config, prog Program) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	ts := make([]taskletState, cfg.Tasklets)
+	for i := range ts {
+		ts[i] = taskletState{}
+		loadOp(&ts[i], prog)
+	}
+
+	var st Stats
+	// DMA engine: single queue, processes requests in FIFO order.
+	type dmaReq struct {
+		tasklet int
+		bytes   int
+	}
+	var dmaQueue []dmaReq
+	var dmaBusyUntil int64 = -1
+	dmaActive := -1 // tasklet whose transfer is in flight
+
+	cycle := int64(0)
+	rr := 0 // round-robin pointer
+	for {
+		allDone := true
+		for i := range ts {
+			if !ts[i].done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+
+		// DMA completion.
+		if dmaActive >= 0 && cycle >= dmaBusyUntil {
+			ts[dmaActive].blocked = false
+			advance(&ts[dmaActive], prog)
+			dmaActive = -1
+		}
+		// DMA start.
+		if dmaActive < 0 && len(dmaQueue) > 0 {
+			req := dmaQueue[0]
+			dmaQueue = dmaQueue[1:]
+			dmaActive = req.tasklet
+			dur := int64(cfg.DMASetupCycles) + int64(float64(req.bytes)/cfg.DMABytesPerCycle)
+			if dur < 1 {
+				dur = 1
+			}
+			dmaBusyUntil = cycle + dur
+			st.DMABytes += int64(req.bytes)
+			st.DMATransfers++
+		}
+		if dmaActive >= 0 {
+			st.DMAUtil++ // counted in cycles; normalized later
+		}
+
+		// Issue at most one instruction from a ready tasklet (round-robin).
+		issued := false
+		for k := 0; k < cfg.Tasklets && !issued; k++ {
+			i := (rr + k) % cfg.Tasklets
+			t := &ts[i]
+			if t.done || t.blocked || cycle < t.readyAt {
+				continue
+			}
+			switch prog[t.pc].Kind {
+			case Compute:
+				t.remaining--
+				st.Instructions++
+				t.readyAt = cycle + int64(cfg.PipelineDepth)
+				if t.remaining == 0 {
+					advance(t, prog)
+				}
+				issued = true
+				rr = (i + 1) % cfg.Tasklets
+			case DMA:
+				// Issuing the DMA costs one instruction, then blocks.
+				st.Instructions++
+				t.blocked = true
+				t.readyAt = cycle + int64(cfg.PipelineDepth)
+				dmaQueue = append(dmaQueue, dmaReq{tasklet: i, bytes: prog[t.pc].N})
+				issued = true
+				rr = (i + 1) % cfg.Tasklets
+			}
+		}
+		if issued {
+			st.IssueUtil++
+		}
+		cycle++
+
+		// Safety valve against pathological programs.
+		if cycle > 1<<40 {
+			return Stats{}, fmt.Errorf("dpu: simulation exceeded cycle budget")
+		}
+	}
+	st.Cycles = cycle
+	if cycle > 0 {
+		st.IssueUtil /= float64(cycle)
+		st.DMAUtil /= float64(cycle)
+	}
+	return st, nil
+}
+
+// loadOp positions a fresh tasklet at the start of the program.
+func loadOp(t *taskletState, prog Program) {
+	t.pc = 0
+	if len(prog) == 0 {
+		t.done = true
+		return
+	}
+	if prog[0].Kind == Compute {
+		t.remaining = prog[0].N
+	}
+}
+
+// advance moves a tasklet to its next op.
+func advance(t *taskletState, prog Program) {
+	t.pc++
+	if t.pc >= len(prog) {
+		t.done = true
+		return
+	}
+	if prog[t.pc].Kind == Compute {
+		t.remaining = prog[t.pc].N
+	}
+}
+
+// LUTReduceProgram builds the per-tasklet program of the LUT reduce micro
+// kernel: the tasklet handles `indices` (row, codebook) lookups; each
+// fetches loadBytes of table data by DMA and accumulates elems packed-INT8
+// elements at instrPerElem pipeline instructions per element.
+func LUTReduceProgram(indices, loadBytes, elems int, instrPerElem float64) Program {
+	var prog Program
+	ipe := int(float64(elems)*instrPerElem + 0.5)
+	if ipe < 1 {
+		ipe = 1
+	}
+	for i := 0; i < indices; i++ {
+		prog = append(prog, Op{Kind: DMA, N: loadBytes})
+		prog = append(prog, Op{Kind: Compute, N: ipe})
+	}
+	return prog
+}
+
+// DeriveReduceCyclesPerElem microbenchmarks the simulated DPU on a
+// representative LUT reduce kernel and returns the emergent cycles per
+// accumulated element — the quantity the pim package's UPMEM platform
+// calibrates as ReduceCycles.
+func DeriveReduceCyclesPerElem(cfg Config) (float64, error) {
+	const (
+		indicesPerTasklet = 64
+		fSlice            = 256 // elements fetched per lookup
+		instrPerElem      = 0.5 // packed 4×INT8: load+add per 4 bytes
+	)
+	prog := LUTReduceProgram(indicesPerTasklet, fSlice, fSlice, instrPerElem)
+	st, err := Run(cfg, prog)
+	if err != nil {
+		return 0, err
+	}
+	totalElems := float64(cfg.Tasklets) * indicesPerTasklet * fSlice
+	return float64(st.Cycles) / totalElems, nil
+}

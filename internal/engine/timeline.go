@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders the report's operator schedule as a two-lane ASCII
+// Gantt chart (HOST and PIM), width characters wide, covering the first
+// maxLayers layers. It makes the offload structure visible at a glance:
+// PIM-DL interleaves short host phases (CCS, attention) with long PIM
+// phases (LUT reduce), while host-only configurations never leave the
+// HOST lane.
+func (r *Report) Timeline(width, maxLayers int) string {
+	if width < 20 {
+		width = 20
+	}
+	var ops []OpCost
+	var span float64
+	for _, op := range r.Ops {
+		if op.Layer >= maxLayers {
+			continue
+		}
+		ops = append(ops, op)
+		span += op.Time
+	}
+	if span == 0 {
+		return "(empty timeline)\n"
+	}
+
+	host := make([]byte, width)
+	pims := make([]byte, width)
+	for i := range host {
+		host[i] = ' '
+		pims[i] = ' '
+	}
+	glyph := func(op OpCost) byte {
+		switch {
+		case op.Class == ClassCCS:
+			return 'c'
+		case op.Class == ClassLUT:
+			return 'L'
+		case strings.HasPrefix(op.Name, "Attention"):
+			return 'a'
+		case strings.HasPrefix(op.Name, "Elementwise"):
+			return 'e'
+		default:
+			return 'G'
+		}
+	}
+	pos := 0.0
+	for _, op := range ops {
+		lo := int(pos / span * float64(width))
+		pos += op.Time
+		hi := int(pos / span * float64(width))
+		if hi <= lo {
+			hi = lo + 1 // every op gets at least one cell
+		}
+		if hi > width {
+			hi = width
+		}
+		lane := host
+		if op.OnPIM {
+			lane = pims
+		}
+		g := glyph(op)
+		for i := lo; i < hi; i++ {
+			lane[i] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — first %d layer(s), %.4g s\n", r.Config, maxLayers, span)
+	fmt.Fprintf(&b, "HOST |%s|\n", host)
+	fmt.Fprintf(&b, "PIM  |%s|\n", pims)
+	b.WriteString("      c=CCS a=attention e=elementwise L=LUT reduce G=GEMM\n")
+	return b.String()
+}

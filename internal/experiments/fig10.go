@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/lutnn"
+	"repro/internal/pim"
+	"repro/internal/workload"
+)
+
+// Fig10Row holds one model's end-to-end comparison.
+type Fig10Row struct {
+	Model string
+	Batch int
+
+	// Latencies in seconds.
+	CPUFP32, CPUINT8 float64
+	PIMDLV2, PIMDLV4 float64
+	PIMGEMM          float64
+	// Energies in joules.
+	ECPUFP32, ECPUINT8 float64
+	EPIMDLV2, EPIMDLV4 float64
+	EPIMGEMM           float64
+}
+
+// Fig10Result reproduces Fig. 10: end-to-end throughput (a) and energy
+// efficiency (b) of DDR4-PIM PIM-DL against the CPU server and against
+// GEMM-based inference on the same PIM hardware.
+type Fig10Result struct {
+	Rows []Fig10Row
+
+	// Geomean speedups, matching the paper's reported aggregates.
+	SpeedupV2FP32, SpeedupV2INT8 float64 // paper: 2.05 / 1.14
+	SpeedupV4FP32, SpeedupV4INT8 float64 // paper: 3.07 / 1.71
+	SpeedupV2GEMM, SpeedupV4GEMM float64 // paper: 12.61 / 18.91
+	EnergyV2FP32, EnergyV4FP32   float64 // paper: 2.95 / 4.42
+	EnergyV2INT8, EnergyV4INT8   float64 // paper: 1.65 / 2.46
+	EnergyV2GEMM, EnergyV4GEMM   float64 // paper: 11.16 / 16.74
+}
+
+// Fig10 runs the end-to-end comparison over the three evaluation models.
+func Fig10() (*Fig10Result, error) {
+	e := engine.New()
+	res := &Fig10Result{}
+	upmem := pim.UPMEM()
+	host := baseline.UPMEMHost()
+	cpu := baseline.CPUServer()
+
+	var v2fp, v2i8, v4fp, v4i8, g2, g4 []float64
+	var ev2fp, ev4fp, ev2i8, ev4i8, eg2, eg4 []float64
+	for _, pc := range workload.PerfModels() {
+		row := Fig10Row{Model: pc.Model.Name, Batch: pc.Batch}
+
+		cfg := UPMEMScenario(pc.Model, pc.Batch, lutnn.Params{V: 2, CT: 16})
+		dl2, err := e.EstimatePIMDL(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Params.V = 4
+		dl4, err := e.EstimatePIMDL(cfg)
+		if err != nil {
+			return nil, err
+		}
+		gm, err := e.EstimatePIMGEMM(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cpuFP := e.EstimateHost(CPUScenario(pc.Model, pc.Batch, baseline.FP32))
+		cpuI8 := e.EstimateHost(CPUScenario(pc.Model, pc.Batch, baseline.INT8))
+
+		row.CPUFP32, row.CPUINT8 = cpuFP.Total(), cpuI8.Total()
+		row.PIMDLV2, row.PIMDLV4 = dl2.Total(), dl4.Total()
+		row.PIMGEMM = gm.Total()
+		row.ECPUFP32 = energy.Estimate(cpuFP, cpu, nil)
+		row.ECPUINT8 = energy.Estimate(cpuI8, cpu, nil)
+		row.EPIMDLV2 = energy.Estimate(dl2, host, upmem)
+		row.EPIMDLV4 = energy.Estimate(dl4, host, upmem)
+		row.EPIMGEMM = energy.Estimate(gm, host, upmem)
+		res.Rows = append(res.Rows, row)
+
+		v2fp = append(v2fp, row.CPUFP32/row.PIMDLV2)
+		v2i8 = append(v2i8, row.CPUINT8/row.PIMDLV2)
+		v4fp = append(v4fp, row.CPUFP32/row.PIMDLV4)
+		v4i8 = append(v4i8, row.CPUINT8/row.PIMDLV4)
+		g2 = append(g2, row.PIMGEMM/row.PIMDLV2)
+		g4 = append(g4, row.PIMGEMM/row.PIMDLV4)
+		ev2fp = append(ev2fp, row.ECPUFP32/row.EPIMDLV2)
+		ev4fp = append(ev4fp, row.ECPUFP32/row.EPIMDLV4)
+		ev2i8 = append(ev2i8, row.ECPUINT8/row.EPIMDLV2)
+		ev4i8 = append(ev4i8, row.ECPUINT8/row.EPIMDLV4)
+		eg2 = append(eg2, row.EPIMGEMM/row.EPIMDLV2)
+		eg4 = append(eg4, row.EPIMGEMM/row.EPIMDLV4)
+	}
+	res.SpeedupV2FP32, res.SpeedupV2INT8 = geomean(v2fp), geomean(v2i8)
+	res.SpeedupV4FP32, res.SpeedupV4INT8 = geomean(v4fp), geomean(v4i8)
+	res.SpeedupV2GEMM, res.SpeedupV4GEMM = geomean(g2), geomean(g4)
+	res.EnergyV2FP32, res.EnergyV4FP32 = geomean(ev2fp), geomean(ev4fp)
+	res.EnergyV2INT8, res.EnergyV4INT8 = geomean(ev2i8), geomean(ev4i8)
+	res.EnergyV2GEMM, res.EnergyV4GEMM = geomean(eg2), geomean(eg4)
+	return res, nil
+}
+
+// Render prints the end-to-end latency/energy tables and geomeans.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10(a) — End-to-end latency (s)\n\n")
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Model, fmt.Sprint(row.Batch),
+			sec(row.CPUFP32), sec(row.CPUINT8), sec(row.PIMDLV2), sec(row.PIMDLV4), sec(row.PIMGEMM)})
+	}
+	b.WriteString(table([]string{"Model", "Batch", "CPU FP32", "CPU INT8", "PIM-DL V=2", "PIM-DL V=4", "PIM-GEMM"}, rows))
+
+	b.WriteString("\nFig. 10(b) — Energy (J)\n\n")
+	rows = rows[:0]
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Model,
+			f2(row.ECPUFP32), f2(row.ECPUINT8), f2(row.EPIMDLV2), f2(row.EPIMDLV4), f2(row.EPIMGEMM)})
+	}
+	b.WriteString(table([]string{"Model", "CPU FP32", "CPU INT8", "PIM-DL V=2", "PIM-DL V=4", "PIM-GEMM"}, rows))
+
+	fmt.Fprintf(&b, `
+Geomean speedups (paper in parentheses):
+  PIM-DL V=2 vs CPU FP32: %.2fx (2.05x)   vs CPU INT8: %.2fx (1.14x)   vs PIM-GEMM: %.2fx (12.61x)
+  PIM-DL V=4 vs CPU FP32: %.2fx (3.07x)   vs CPU INT8: %.2fx (1.71x)   vs PIM-GEMM: %.2fx (18.91x)
+Geomean energy efficiency:
+  PIM-DL V=2 vs CPU FP32: %.2fx (2.95x)   vs CPU INT8: %.2fx (1.65x)   vs PIM-GEMM: %.2fx (11.16x)
+  PIM-DL V=4 vs CPU FP32: %.2fx (4.42x)   vs CPU INT8: %.2fx (2.46x)   vs PIM-GEMM: %.2fx (16.74x)
+`,
+		r.SpeedupV2FP32, r.SpeedupV2INT8, r.SpeedupV2GEMM,
+		r.SpeedupV4FP32, r.SpeedupV4INT8, r.SpeedupV4GEMM,
+		r.EnergyV2FP32, r.EnergyV2INT8, r.EnergyV2GEMM,
+		r.EnergyV4FP32, r.EnergyV4INT8, r.EnergyV4GEMM)
+	return b.String()
+}

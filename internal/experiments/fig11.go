@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/engine"
+	"repro/internal/lutnn"
+	"repro/internal/nn"
+	"repro/internal/workload"
+)
+
+// Fig11aRow is one model's latency breakdown.
+type Fig11aRow struct {
+	Model                   string
+	LUTFrac, CCSFrac, Other float64
+	LUTNNFrac               float64 // LUT+CCS, the "LUT-NN inference" share
+}
+
+// Fig11bRow is one model's per-role speedup versus CPU INT8.
+type Fig11bRow struct {
+	Model   string
+	Speedup map[nn.LinearRole]float64
+}
+
+// Fig11Result reproduces Fig. 11: (a) PIM-DL latency breakdown into
+// LUT/CCS/Other and (b) layer-wise speedup of each converted linear layer
+// over GEMM-based INT8 inference on the CPU server.
+type Fig11Result struct {
+	A []Fig11aRow
+	B []Fig11bRow
+	// GeomeanRole aggregates (b) across models per role; the paper reports
+	// QKV 1.61x, O 0.99x, FFN1 1.78x, FFN2 2.38x, overall 1.81x.
+	GeomeanRole map[nn.LinearRole]float64
+	GeomeanAll  float64
+}
+
+// Fig11 runs the breakdown and layer-wise analyses (V=4, CT=16).
+func Fig11() (*Fig11Result, error) {
+	e := engine.New()
+	res := &Fig11Result{GeomeanRole: map[nn.LinearRole]float64{}}
+	perRole := map[nn.LinearRole][]float64{}
+	var all []float64
+
+	for _, pc := range workload.PerfModels() {
+		cfg := UPMEMScenario(pc.Model, pc.Batch, lutnn.Params{V: 4, CT: 16})
+		rep, err := e.EstimatePIMDL(cfg)
+		if err != nil {
+			return nil, err
+		}
+		total := rep.Total()
+		res.A = append(res.A, Fig11aRow{
+			Model:     pc.Model.Name,
+			LUTFrac:   rep.ClassTime(engine.ClassLUT) / total,
+			CCSFrac:   rep.ClassTime(engine.ClassCCS) / total,
+			Other:     rep.ClassTime(engine.ClassOther) / total,
+			LUTNNFrac: (rep.ClassTime(engine.ClassLUT) + rep.ClassTime(engine.ClassCCS)) / total,
+		})
+
+		cpuCfg := CPUScenario(pc.Model, pc.Batch, baseline.INT8)
+		row := Fig11bRow{Model: pc.Model.Name, Speedup: map[nn.LinearRole]float64{}}
+		for _, role := range nn.Roles {
+			pimRole := rep.RoleTime(role) / float64(pc.Model.Layers)
+			cpuRole := engine.HostLinearTime(cpuCfg, role)
+			s := cpuRole / pimRole
+			row.Speedup[role] = s
+			perRole[role] = append(perRole[role], s)
+			all = append(all, s)
+		}
+		res.B = append(res.B, row)
+	}
+	for _, role := range nn.Roles {
+		res.GeomeanRole[role] = geomean(perRole[role])
+	}
+	res.GeomeanAll = geomean(all)
+	return res, nil
+}
+
+// Render prints both panels.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 11(a) — PIM-DL latency breakdown\n\n")
+	var rows [][]string
+	for _, row := range r.A {
+		rows = append(rows, []string{row.Model,
+			fmt.Sprintf("%.1f%%", row.LUTFrac*100),
+			fmt.Sprintf("%.1f%%", row.CCSFrac*100),
+			fmt.Sprintf("%.1f%%", row.Other*100),
+			fmt.Sprintf("%.1f%%", row.LUTNNFrac*100)})
+	}
+	b.WriteString(table([]string{"Model", "LUT", "CCS", "Other", "LUT-NN (LUT+CCS)"}, rows))
+
+	b.WriteString("\nFig. 11(b) — Layer-wise speedup vs CPU INT8 (paper geomeans: QKV 1.61x O 0.99x FFN1 1.78x FFN2 2.38x)\n\n")
+	rows = rows[:0]
+	for _, row := range r.B {
+		rows = append(rows, []string{row.Model,
+			f2(row.Speedup[nn.RoleQKV]), f2(row.Speedup[nn.RoleO]),
+			f2(row.Speedup[nn.RoleFFN1]), f2(row.Speedup[nn.RoleFFN2])})
+	}
+	rows = append(rows, []string{"geomean",
+		f2(r.GeomeanRole[nn.RoleQKV]), f2(r.GeomeanRole[nn.RoleO]),
+		f2(r.GeomeanRole[nn.RoleFFN1]), f2(r.GeomeanRole[nn.RoleFFN2])})
+	b.WriteString(table([]string{"Model", "QKV", "O", "FFN1", "FFN2"}, rows))
+	fmt.Fprintf(&b, "\nOverall geomean: %.2fx (paper: 1.81x)\n", r.GeomeanAll)
+	return b.String()
+}

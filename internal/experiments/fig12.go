@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/engine"
+	"repro/internal/lutnn"
+	"repro/internal/nn"
+	"repro/internal/workload"
+)
+
+// Fig12Point is one sensitivity sample: speedup of PIM-DL over CPU INT8.
+type Fig12Point struct {
+	Model   string
+	X       int // the swept parameter's value
+	Speedup float64
+}
+
+// Fig12Result reproduces the four sensitivity sweeps of Fig. 12. All
+// results are normalized to the CPU server's INT8 inference, as in the
+// paper. Defaults: V=4, CT=16, seq 512, batch 64.
+type Fig12Result struct {
+	VSweep      []Fig12Point // V ∈ {2,4,8,16,32}
+	CTSweep     []Fig12Point // CT ∈ {128,64,32,16,8}
+	BatchSweep  []Fig12Point // batch ∈ {8,16,32,64,128}
+	HiddenSweep []Fig12Point // hidden ∈ {1024,2048,2560,4096,5120}
+}
+
+// Fig12 runs the sensitivity analysis.
+func Fig12() (*Fig12Result, error) {
+	e := engine.New()
+	res := &Fig12Result{}
+
+	speedup := func(model nn.Config, batch int, p lutnn.Params) (float64, error) {
+		dl, err := e.EstimatePIMDL(UPMEMScenario(model, batch, p))
+		if err != nil {
+			return 0, err
+		}
+		cpu := e.EstimateHost(CPUScenario(model, batch, baseline.INT8))
+		return cpu.Total() / dl.Total(), nil
+	}
+
+	models := []nn.Config{nn.BERTBase, nn.BERTLarge, nn.ViTHuge}
+	batches := map[string]int{"Bert-Base": 64, "Bert-Large": 64, "ViT-Huge": 128}
+
+	for _, m := range models {
+		for _, v := range []int{2, 4, 8, 16, 32} {
+			s, err := speedup(m, batches[m.Name], lutnn.Params{V: v, CT: 16})
+			if err != nil {
+				return nil, err
+			}
+			res.VSweep = append(res.VSweep, Fig12Point{m.Name, v, s})
+		}
+		for _, ct := range []int{128, 64, 32, 16, 8} {
+			s, err := speedup(m, batches[m.Name], lutnn.Params{V: 4, CT: ct})
+			if err != nil {
+				return nil, err
+			}
+			res.CTSweep = append(res.CTSweep, Fig12Point{m.Name, ct, s})
+		}
+		for _, bsz := range []int{8, 16, 32, 64, 128} {
+			s, err := speedup(m, bsz, lutnn.Params{V: 4, CT: 16})
+			if err != nil {
+				return nil, err
+			}
+			res.BatchSweep = append(res.BatchSweep, Fig12Point{m.Name, bsz, s})
+		}
+	}
+	for _, h := range workload.OPTHiddenDims {
+		m := workload.HiddenDimModel(h, 512)
+		s, err := speedup(m, 64, lutnn.Params{V: 4, CT: 16})
+		if err != nil {
+			return nil, err
+		}
+		res.HiddenSweep = append(res.HiddenSweep, Fig12Point{m.Name, h, s})
+	}
+	return res, nil
+}
+
+// Render prints the four sweeps.
+func (r *Fig12Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 12 — Sensitivity analysis (speedup vs CPU INT8)\n")
+	panel := func(title, xname string, ps []Fig12Point) {
+		fmt.Fprintf(&b, "\n(%s)\n", title)
+		var rows [][]string
+		for _, p := range ps {
+			rows = append(rows, []string{p.Model, fmt.Sprint(p.X), f2(p.Speedup) + "x"})
+		}
+		b.WriteString(table([]string{"Model", xname, "Speedup"}, rows))
+	}
+	panel("a: sub-vector length", "V", r.VSweep)
+	panel("b: centroid number", "CT", r.CTSweep)
+	panel("c: batch size", "Batch", r.BatchSweep)
+	panel("d: hidden dim (OPT shapes)", "Hidden", r.HiddenSweep)
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/lutnn"
+	"repro/internal/pim"
+	"repro/internal/workload"
+)
+
+// Fig14Point is one bar of the HBM-PIM/AiM comparison sweep.
+type Fig14Point struct {
+	Platform string
+	Hidden   int
+	Batch    int
+	// SpeedupVsGEMM is PIM-GEMM time ÷ PIM-DL time (Fig. 14).
+	SpeedupVsGEMM float64
+	// SpeedupVsGPU is V100 time ÷ PIM-DL time (Fig. 15).
+	SpeedupVsGPU float64
+}
+
+// Fig1415Result reproduces Figs. 14 and 15: PIM-DL on simulated HBM-PIM
+// and AiM against (14) GEMM-based inference on the same hardware and (15)
+// the V100 GPU, sweeping hidden dim {1024,2048,2560,4096} and batch 1–8
+// at sequence length 128.
+type Fig1415Result struct {
+	Points []Fig14Point
+	// Paper aggregates: vs PIM-GEMM 23.94x (HBM-PIM) / 19.06x (AiM);
+	// vs V100: HBM-PIM ≈ 0.39x geomean, AiM up to 1.20x.
+	GeomeanGEMM map[string]float64
+	GeomeanGPU  map[string]float64
+	MaxGPU      map[string]float64
+}
+
+// Fig1415 runs the device-PIM sweeps. Layers are truncated to keep the
+// sweep fast — ratios are layer-count invariant because every layer is
+// identical.
+func Fig1415() (*Fig1415Result, error) {
+	e := engine.New()
+	res := &Fig1415Result{
+		GeomeanGEMM: map[string]float64{},
+		GeomeanGPU:  map[string]float64{},
+		MaxGPU:      map[string]float64{},
+	}
+	gemmRatios := map[string][]float64{}
+	gpuRatios := map[string][]float64{}
+
+	for _, plat := range []*pim.Platform{pim.HBMPIM(), pim.AiM()} {
+		for _, hidden := range []int{1024, 2048, 2560, 4096} {
+			for _, batch := range []int{1, 2, 4, 8} {
+				model := workload.HiddenDimModel(hidden, 128)
+				model.Layers = 2
+				cfg := DevicePIMScenario(plat, model, batch, lutnn.Params{V: 4, CT: 16})
+				dl, err := e.EstimatePIMDL(cfg)
+				if err != nil {
+					return nil, err
+				}
+				gm, err := e.EstimatePIMGEMM(cfg)
+				if err != nil {
+					return nil, err
+				}
+				gpu := e.EstimateHost(GPUScenario(model, batch))
+				p := Fig14Point{
+					Platform:      plat.Name,
+					Hidden:        hidden,
+					Batch:         batch,
+					SpeedupVsGEMM: gm.Total() / dl.Total(),
+					SpeedupVsGPU:  gpu.Total() / dl.Total(),
+				}
+				res.Points = append(res.Points, p)
+				gemmRatios[plat.Name] = append(gemmRatios[plat.Name], p.SpeedupVsGEMM)
+				gpuRatios[plat.Name] = append(gpuRatios[plat.Name], p.SpeedupVsGPU)
+				if p.SpeedupVsGPU > res.MaxGPU[plat.Name] {
+					res.MaxGPU[plat.Name] = p.SpeedupVsGPU
+				}
+			}
+		}
+	}
+	for name, rs := range gemmRatios {
+		res.GeomeanGEMM[name] = geomean(rs)
+	}
+	for name, rs := range gpuRatios {
+		res.GeomeanGPU[name] = geomean(rs)
+	}
+	return res, nil
+}
+
+// Render prints both figures' series.
+func (r *Fig1415Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 14/15 — PIM-DL on HBM-PIM and AiM (seq 128, V=4, CT=16)\n\n")
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{p.Platform, fmt.Sprint(p.Hidden), fmt.Sprint(p.Batch),
+			f2(p.SpeedupVsGEMM) + "x", f2(p.SpeedupVsGPU) + "x"})
+	}
+	b.WriteString(table([]string{"Platform", "Hidden", "Batch", "vs PIM-GEMM (Fig.14)", "vs V100 (Fig.15)"}, rows))
+	fmt.Fprintf(&b, `
+Geomeans (paper in parentheses):
+  vs PIM-GEMM: HBM-PIM %.2fx (23.94x)   AiM %.2fx (19.06x)
+  vs V100:     HBM-PIM %.2fx (0.39x)    AiM %.2fx, max %.2fx (up to 1.20x)
+`,
+		r.GeomeanGEMM["HBM-PIM"], r.GeomeanGEMM["AiM"],
+		r.GeomeanGPU["HBM-PIM"], r.GeomeanGPU["AiM"], r.MaxGPU["AiM"])
+	return b.String()
+}

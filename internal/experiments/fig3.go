@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lutnn"
+)
+
+// Fig3Point is one bar of the computation-reduction analysis.
+type Fig3Point struct {
+	V, CT       int
+	GFLOPs      float64 // LUT-NN total operations (G)
+	MulFraction float64 // multiplications ÷ total
+	Reduction   float64 // FLOP_GEMM / FLOP_LUT-NN
+}
+
+// Fig3Result reproduces Fig. 3 (N=H=F=1024): LUT-NN op counts and the
+// reduction factor over GEMM across the V sweep (CT=16) and the CT sweep
+// (V=4).
+type Fig3Result struct {
+	N, H, F int
+	VSweep  []Fig3Point
+	CTSweep []Fig3Point
+}
+
+// Fig3 computes the paper's computation-reduction analysis.
+func Fig3() *Fig3Result {
+	const n, h, f = 1024, 1024, 1024
+	res := &Fig3Result{N: n, H: h, F: f}
+	point := func(v, ct int) Fig3Point {
+		ops := lutnn.LUTNNOps(n, h, f, v, ct)
+		return Fig3Point{
+			V: v, CT: ct,
+			GFLOPs:      float64(ops.Total()) / 1e9,
+			MulFraction: float64(ops.Muls) / float64(ops.Total()),
+			Reduction:   lutnn.Reduction(n, h, f, v, ct),
+		}
+	}
+	for _, v := range []int{2, 4, 8, 16} {
+		res.VSweep = append(res.VSweep, point(v, 16))
+	}
+	for _, ct := range []int{64, 32, 16, 8} {
+		res.CTSweep = append(res.CTSweep, point(4, ct))
+	}
+	return res
+}
+
+// Render prints the figure's two sweeps as tables.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — Computation Reduction Analysis (N=H=F=%d)\n\n", r.N)
+	rows := func(ps []Fig3Point) [][]string {
+		var out [][]string
+		for _, p := range ps {
+			out = append(out, []string{
+				fmt.Sprintf("V=%d", p.V), fmt.Sprintf("CT=%d", p.CT),
+				f2(p.GFLOPs), fmt.Sprintf("%.1f%%", p.MulFraction*100), f2(p.Reduction) + "x",
+			})
+		}
+		return out
+	}
+	hdr := []string{"V", "CT", "GFLOPs", "Mul share", "Reduction vs GEMM"}
+	b.WriteString("Sub-vector length sweep (CT=16):\n")
+	b.WriteString(table(hdr, rows(r.VSweep)))
+	b.WriteString("\nCentroid number sweep (V=4):\n")
+	b.WriteString(table(hdr, rows(r.CTSweep)))
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/lutnn"
+	"repro/internal/nn"
+)
+
+// Fig4Point is one LUT kernel on the roofline.
+type Fig4Point struct {
+	Model     string
+	Operator  string
+	AI        float64 // arithmetic intensity (ops/byte)
+	GOPS      float64 // attained throughput under the roofline
+	MemBound  bool
+	PeakRatio float64 // attained ÷ peak
+}
+
+// Fig4Result reproduces the roofline analysis of Fig. 4: the arithmetic
+// intensity of every LUT kernel in BERT-base/large and ViT-huge at batch
+// 64 × seq 512 (Q/K/V fused), against the CPU roof.
+type Fig4Result struct {
+	PeakGOPS float64
+	RidgeAI  float64
+	Points   []Fig4Point
+}
+
+// Fig4 computes the roofline placement of the LUT kernels. Following the
+// paper's measurement setup, the tables are resident as FP32 working sets
+// on the CPU (lutElemBytes = 4) even though values are quantized to INT8.
+func Fig4() *Fig4Result {
+	host := baseline.Device{ // the paper's dual Xeon 4210 analysis machine
+		Name:    "Xeon4210x2",
+		PeakOPS: map[baseline.Precision]float64{baseline.INT8: 795.11e9},
+		MemBW:   100e9,
+	}
+	peak := host.PeakOPS[baseline.INT8] / 1e9
+	res := &Fig4Result{PeakGOPS: peak, RidgeAI: peak / (host.MemBW / 1e9)}
+
+	const batch, seq, v = 64, 512, 2
+	n := batch * seq
+	for _, cfg := range []nn.Config{nn.BERTBase, nn.BERTLarge, nn.ViTHuge} {
+		for _, role := range nn.Roles {
+			f, h := cfg.LinearShape(role)
+			cb := h / v
+			ai := lutnn.ArithmeticIntensity(n, cb, f, 4)
+			attained := ai * host.MemBW / 1e9
+			if attained > peak {
+				attained = peak
+			}
+			res.Points = append(res.Points, Fig4Point{
+				Model: cfg.Name, Operator: role.String(),
+				AI: ai, GOPS: attained,
+				MemBound:  ai < res.RidgeAI,
+				PeakRatio: attained / peak,
+			})
+		}
+	}
+	return res
+}
+
+// RenderPlot draws the roofline on log-log axes as ASCII art: the
+// bandwidth slope, the compute roof, and the LUT kernels clustered far
+// left of the ridge point.
+func (r *Fig4Result) RenderPlot(width, height int) string {
+	if width < 30 {
+		width = 30
+	}
+	if height < 8 {
+		height = 8
+	}
+	// Axis ranges: AI from 0.05 to 10× ridge; GOPS up to peak.
+	aiMin, aiMax := 0.05, r.RidgeAI*10
+	gMin, gMax := aiMin*r.PeakGOPS/r.RidgeAI*0.5, r.PeakGOPS*1.5
+	xOf := func(ai float64) int {
+		return int(math.Log(ai/aiMin) / math.Log(aiMax/aiMin) * float64(width-1))
+	}
+	yOf := func(g float64) int {
+		fy := math.Log(g/gMin) / math.Log(gMax/gMin)
+		return height - 1 - int(fy*float64(height-1))
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y int, c byte) {
+		if x >= 0 && x < width && y >= 0 && y < height {
+			grid[y][x] = c
+		}
+	}
+	// Roofline: min(peak, AI × BW) where BW = peak/ridge.
+	for x := 0; x < width; x++ {
+		ai := aiMin * math.Pow(aiMax/aiMin, float64(x)/float64(width-1))
+		attained := ai * r.PeakGOPS / r.RidgeAI
+		if attained > r.PeakGOPS {
+			attained = r.PeakGOPS
+		}
+		put(x, yOf(attained), '_')
+	}
+	// Kernels.
+	for _, p := range r.Points {
+		put(xOf(p.AI), yOf(p.GOPS), 'o')
+	}
+	put(xOf(r.RidgeAI), yOf(r.PeakGOPS), '+')
+	var b strings.Builder
+	fmt.Fprintf(&b, "GOPS (log) — roof %.0f GOPS, ridge %.2f ops/B ('+'), LUT kernels 'o'\n", r.PeakGOPS, r.RidgeAI)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "+%s AI (log, %.2g → %.3g ops/B)\n", strings.Repeat("-", width), aiMin, aiMax)
+	return b.String()
+}
+
+// Render prints the roofline placement table.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — Roofline Analysis of LUT Kernels (CPU peak %.2f GOPS, ridge at %.2f ops/B)\n\n",
+		r.PeakGOPS, r.RidgeAI)
+	var rows [][]string
+	for _, p := range r.Points {
+		bound := "memory-bound"
+		if !p.MemBound {
+			bound = "compute-bound"
+		}
+		rows = append(rows, []string{p.Model, p.Operator, f3(p.AI), f2(p.GOPS),
+			fmt.Sprintf("%.1f%%", p.PeakRatio*100), bound})
+	}
+	b.WriteString(table([]string{"Model", "Op", "AI (ops/B)", "GOPS", "of peak", "regime"}, rows))
+	b.WriteString("\n")
+	b.WriteString(r.RenderPlot(64, 12))
+	return b.String()
+}

@@ -1,0 +1,246 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding.
+//
+// PIM-DL's LUT-NN conversion derives each codebook by K-means clustering
+// of activation sub-vectors within one column position across the
+// calibration set (paper §3.1, step ❶). The clustering quality bounds the
+// approximation error of the whole LUT-NN layer, so the implementation
+// uses k-means++ initialization and runs to assignment convergence.
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Result holds the clustering output.
+type Result struct {
+	// Centroids is k rows of dim-length centres, flattened row-major.
+	Centroids []float32
+	// Assign maps each input point to its centroid index.
+	Assign []int
+	// Inertia is the summed squared distance of points to their centroids.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+	K, Dim     int
+}
+
+// Config controls the clustering run.
+type Config struct {
+	K        int
+	MaxIter  int // default 50
+	Restarts int // independent k-means++ restarts; best inertia wins (default 1)
+	Seed     int64
+}
+
+// Run clusters n points of dimension dim (points is n×dim flattened).
+// If n < K the surplus centroids are duplicated from sampled points so the
+// result always has exactly K centroids.
+func Run(points []float32, n, dim int, cfg Config) *Result {
+	if cfg.K <= 0 {
+		panic("kmeans: K must be positive")
+	}
+	if n*dim != len(points) {
+		panic("kmeans: points length does not match n×dim")
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 50
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		res := runOnce(points, n, dim, cfg.K, cfg.MaxIter, rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best
+}
+
+func runOnce(points []float32, n, dim, k, maxIter int, rng *rand.Rand) *Result {
+	cent := seedPlusPlus(points, n, dim, k, rng)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		changed := false
+		// Assignment step.
+		for i := 0; i < n; i++ {
+			p := points[i*dim : (i+1)*dim]
+			bi, bd := nearest(p, cent, k, dim)
+			_ = bd
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step.
+		for j := range cent {
+			cent[j] = 0
+		}
+		for j := range counts {
+			counts[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			dst := cent[c*dim : (c+1)*dim]
+			src := points[i*dim : (i+1)*dim]
+			for d := range dst {
+				dst[d] += src[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster with a random point.
+				i := rng.Intn(n)
+				copy(cent[c*dim:(c+1)*dim], points[i*dim:(i+1)*dim])
+				continue
+			}
+			inv := 1 / float32(counts[c])
+			dst := cent[c*dim : (c+1)*dim]
+			for d := range dst {
+				dst[d] *= inv
+			}
+		}
+	}
+
+	var inertia float64
+	for i := 0; i < n; i++ {
+		p := points[i*dim : (i+1)*dim]
+		_, d := nearest(p, cent, k, dim)
+		assign[i], _ = nearest(p, cent, k, dim)
+		inertia += float64(d)
+	}
+	return &Result{Centroids: cent, Assign: assign, Inertia: inertia, Iterations: iter, K: k, Dim: dim}
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(points []float32, n, dim, k int, rng *rand.Rand) []float32 {
+	cent := make([]float32, k*dim)
+	first := rng.Intn(n)
+	copy(cent[:dim], points[first*dim:(first+1)*dim])
+	d2 := make([]float64, n)
+	for c := 1; c < k; c++ {
+		var total float64
+		for i := 0; i < n; i++ {
+			p := points[i*dim : (i+1)*dim]
+			_, d := nearest(p, cent, c, dim)
+			d2[i] = float64(d)
+			total += d2[i]
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			for i := 0; i < n; i++ {
+				acc += d2[i]
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		copy(cent[c*dim:(c+1)*dim], points[idx*dim:(idx+1)*dim])
+	}
+	return cent
+}
+
+// nearest returns the index of and squared distance to the closest of the
+// first k centroids.
+func nearest(p []float32, cent []float32, k, dim int) (int, float32) {
+	best := 0
+	bd := float32(math.MaxFloat32)
+	for c := 0; c < k; c++ {
+		cr := cent[c*dim : (c+1)*dim]
+		var d float32
+		for j := range p {
+			diff := p[j] - cr[j]
+			d += diff * diff
+		}
+		if d < bd {
+			bd = d
+			best = c
+		}
+	}
+	return best, bd
+}
+
+// Nearest exposes closest-centroid search for external callers (the CCS
+// operator reuses it in tests as a reference).
+func Nearest(p []float32, cent []float32, k, dim int) (int, float32) {
+	return nearest(p, cent, k, dim)
+}
+
+// RunMiniBatch clusters with the mini-batch K-means variant (Sculley):
+// each iteration samples batchSize points, assigns them, and moves their
+// centroids by a per-centroid decaying learning rate. It trades a little
+// inertia for much lower cost on large calibration sets — BERT-scale
+// conversion clusters H/V × layers × 4 codebooks over hundreds of
+// thousands of sub-vectors, where full Lloyd iterations are wasteful.
+func RunMiniBatch(points []float32, n, dim int, cfg Config, batchSize int) *Result {
+	if cfg.K <= 0 {
+		panic("kmeans: K must be positive")
+	}
+	if n*dim != len(points) {
+		panic("kmeans: points length does not match n×dim")
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if batchSize <= 0 || batchSize > n {
+		batchSize = n
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Seed from a sample to keep k-means++ cheap.
+	seedN := batchSize * 4
+	if seedN > n {
+		seedN = n
+	}
+	sample := make([]float32, seedN*dim)
+	for i := 0; i < seedN; i++ {
+		j := rng.Intn(n)
+		copy(sample[i*dim:(i+1)*dim], points[j*dim:(j+1)*dim])
+	}
+	cent := seedPlusPlus(sample, seedN, dim, cfg.K, rng)
+
+	counts := make([]int, cfg.K)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		for b := 0; b < batchSize; b++ {
+			i := rng.Intn(n)
+			p := points[i*dim : (i+1)*dim]
+			c, _ := nearest(p, cent, cfg.K, dim)
+			counts[c]++
+			eta := 1 / float32(counts[c])
+			dst := cent[c*dim : (c+1)*dim]
+			for d := range dst {
+				dst[d] += eta * (p[d] - dst[d])
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	var inertia float64
+	for i := 0; i < n; i++ {
+		p := points[i*dim : (i+1)*dim]
+		c, d := nearest(p, cent, cfg.K, dim)
+		assign[i] = c
+		inertia += float64(d)
+	}
+	return &Result{Centroids: cent, Assign: assign, Inertia: inertia,
+		Iterations: cfg.MaxIter, K: cfg.K, Dim: dim}
+}

@@ -1,0 +1,120 @@
+package lutnn
+
+import (
+	"repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+// CalibrationConfig carries the eLUT-NN hyper-parameters from §6.2 of the
+// paper: the reconstruction-loss weight β (1e-3 for BERT, 1e-4 for ViT)
+// and the learning rate (1e-5 to 5e-5).
+type CalibrationConfig struct {
+	Beta         float64 // reconstruction-loss penalty β in Eq. 1
+	LearningRate float64
+	Iterations   int
+}
+
+// TrainableCodebooks wraps codebooks as autograd parameters so eLUT-NN
+// calibration can update the centroids by gradient descent.
+type TrainableCodebooks struct {
+	CB, CT, V int
+	Param     *autograd.Value // (CB·CT)×V matrix of centroids
+
+	// NoSTE disables the straight-through estimator (ablation A2): the
+	// substitution still trains the centroids, but no gradient reaches
+	// the upstream activations, reproducing the gradient-blocking problem
+	// eLUT-NN's Eq. 2 exists to solve.
+	NoSTE bool
+}
+
+// NewTrainableCodebooks lifts c into trainable form (sharing no storage).
+func NewTrainableCodebooks(c *Codebooks) *TrainableCodebooks {
+	t := tensor.New(c.CB*c.CT, c.V)
+	copy(t.Data, c.Data)
+	return &TrainableCodebooks{CB: c.CB, CT: c.CT, V: c.V, Param: autograd.NewParam(t)}
+}
+
+// Snapshot converts the current parameters back into plain codebooks.
+func (tc *TrainableCodebooks) Snapshot() *Codebooks {
+	c := NewCodebooks(tc.CB, tc.CT, tc.V)
+	copy(c.Data, tc.Param.T.Data)
+	return c
+}
+
+// Substitute implements the calibration-time forward of a LUT-NN layer
+// (Eq. 1's H(·) plus Eq. 2's STE):
+//
+//   - forward: every 1×V sub-vector of acts is replaced by its closest
+//     centroid, producing Â;
+//   - backward: the gradient w.r.t. Â flows (a) straight through to acts
+//     (the straight-through estimator, ∂Â/∂A ≈ I), and (b) into the
+//     selected centroids by scatter-add, which is the "direct centroid
+//     gradient" that lets the reconstruction loss train the codebooks
+//     without layer-by-layer propagation.
+func (tc *TrainableCodebooks) Substitute(acts *autograd.Value) *autograd.Value {
+	snap := tc.Snapshot()
+	idx := snap.Search(acts.T)
+	approx := snap.Approximate(acts.T, idx)
+
+	n := acts.T.Dim(0)
+	cb, ct, v := tc.CB, tc.CT, tc.V
+
+	// Branch 1: gradient into the centroids via gather/scatter.
+	fromCentroids := gatherCentroids(tc.Param, idx, n, cb, ct, v)
+	if tc.NoSTE {
+		// Ablation: centroid gradients only; upstream layers see nothing.
+		return fromCentroids
+	}
+	// Branch 2: straight-through to the activations. The output forward
+	// value is Â; conceptually Â = A + (gather(centroids) − A) where the
+	// parenthesised term is treated as differentiable only through the
+	// centroids. We realise this as: out = STE(Â − gather_detached, A) +
+	// gather(centroids), whose forward is exactly Â and whose backward
+	// sends dÂ to both A (identity) and the centroids (scatter).
+	zeroFwd := tensor.Sub(approx, fromCentroids.T) // == 0 numerically
+	ste := autograd.STE(zeroFwd, acts)
+	return autograd.Add(ste, fromCentroids)
+}
+
+// gatherCentroids builds an N×(CB·V) value whose tiles are the selected
+// centroids, with backward scatter-adding into the codebook parameter.
+func gatherCentroids(param *autograd.Value, idx []uint8, n, cb, ct, v int) *autograd.Value {
+	rows := make([]int, n*cb)
+	for i := 0; i < n; i++ {
+		for c := 0; c < cb; c++ {
+			rows[i*cb+c] = c*ct + int(idx[i*cb+c])
+		}
+	}
+	// Embedding gathers (n·cb)×v; reshape to n×(cb·v).
+	gathered := autograd.Embedding(param, rows)
+	return autograd.Reshape(gathered, n, cb*v)
+}
+
+// ReconstructionLoss computes β·‖A·Wᵀ − Â·Wᵀ‖² (Eq. 1's second term) for
+// one layer. exact is the detached GEMM output A·Wᵀ; approx is the
+// calibration-time output Â·Wᵀ built from Substitute, through which
+// gradients reach the centroids.
+func ReconstructionLoss(approx, exact *autograd.Value, beta float64) *autograd.Value {
+	return autograd.Scale(autograd.SumSquares(autograd.Sub(approx, exact)), float32(beta))
+}
+
+// CalibrateLayer runs standalone eLUT-NN calibration of a single linear
+// layer against its exact GEMM output: it minimises the reconstruction
+// loss alone (no model loss), which is the building block the full-model
+// calibration in the nn package composes. Returns the refined codebooks.
+func CalibrateLayer(layer *Layer, w *tensor.Tensor, batches []*tensor.Tensor, cfg CalibrationConfig) *Codebooks {
+	tc := NewTrainableCodebooks(layer.Codebooks)
+	wv := autograd.NewConst(w)
+	opt := autograd.NewAdam(cfg.LearningRate, tc.Param)
+	for it := 0; it < cfg.Iterations; it++ {
+		acts := batches[it%len(batches)]
+		av := autograd.NewConst(acts)
+		exact := autograd.MatMulT(av, wv)
+		approx := autograd.MatMulT(tc.Substitute(av), wv)
+		loss := ReconstructionLoss(approx, exact, cfg.Beta)
+		opt.ZeroGrad()
+		loss.Backward()
+		opt.Step()
+	}
+	return tc.Snapshot()
+}

@@ -1,0 +1,140 @@
+package lutnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+func TestSubstituteForwardIsApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	acts := tensor.RandN(rng, 1, 16, 8)
+	c, err := BuildCodebooks(acts, Params{V: 2, CT: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTrainableCodebooks(c)
+	out := tc.Substitute(autograd.NewConst(acts))
+	want := c.Approximate(acts, nil)
+	if tensor.MaxAbsDiff(out.T, want) > 1e-5 {
+		t.Fatalf("Substitute forward != Approximate, diff %g", tensor.MaxAbsDiff(out.T, want))
+	}
+}
+
+func TestSubstituteGradientReachesCentroids(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	acts := tensor.RandN(rng, 1, 16, 8)
+	c, err := BuildCodebooks(acts, Params{V: 2, CT: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTrainableCodebooks(c)
+	out := tc.Substitute(autograd.NewConst(acts))
+	loss := autograd.SumSquares(out)
+	loss.Backward()
+	if tc.Param.Grad == nil {
+		t.Fatal("no gradient on codebooks")
+	}
+	var nz int
+	for _, g := range tc.Param.Grad.Data {
+		if g != 0 {
+			nz++
+		}
+	}
+	if nz == 0 {
+		t.Fatal("codebook gradient is all zeros")
+	}
+}
+
+func TestSubstituteSTEPassesGradientToActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	acts := autograd.NewParam(tensor.RandN(rng, 1, 8, 8))
+	c, err := BuildCodebooks(acts.T, Params{V: 2, CT: 4}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTrainableCodebooks(c)
+	out := tc.Substitute(acts)
+	loss := autograd.SumSquares(out)
+	loss.Backward()
+	if acts.Grad == nil {
+		t.Fatal("STE did not propagate to activations")
+	}
+	// STE: dL/dA ≈ dL/dÂ = 2Â elementwise.
+	want := tensor.Scale(out.T, 2)
+	if tensor.MaxAbsDiff(acts.Grad, want) > 1e-4 {
+		t.Fatalf("STE gradient mismatch: %g", tensor.MaxAbsDiff(acts.Grad, want))
+	}
+}
+
+func TestCalibrateLayerReducesReconstructionError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, h, f = 64, 8, 12
+	// Deliberately cripple the codebooks by building them from a
+	// *different* distribution than the deployment activations, then check
+	// that calibration on the true distribution repairs them.
+	wrongActs := tensor.RandU(rng, 3, 5, n, h)
+	realActs := make([]*tensor.Tensor, 4)
+	for i := range realActs {
+		realActs[i] = tensor.RandN(rng, 1, n, h)
+	}
+	w := tensor.RandN(rng, 1, f, h)
+	layer, err := Convert(w, nil, wrongActs, Params{V: 2, CT: 8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBefore := avgLayerError(layer, w, realActs)
+	refined := CalibrateLayer(layer, w, realActs, CalibrationConfig{
+		Beta: 1, LearningRate: 0.01, Iterations: 300,
+	})
+	layer.Codebooks = refined
+	if err := layer.RebuildTable(w); err != nil {
+		t.Fatal(err)
+	}
+	errAfter := avgLayerError(layer, w, realActs)
+	if errAfter >= errBefore*0.8 {
+		t.Fatalf("calibration did not help: before %g, after %g", errBefore, errAfter)
+	}
+}
+
+func avgLayerError(layer *Layer, w *tensor.Tensor, batches []*tensor.Tensor) float64 {
+	var sum float64
+	for _, acts := range batches {
+		got := layer.Forward(acts)
+		want := ForwardExact(acts, w, nil)
+		sum += tensor.RelativeError(got, want)
+	}
+	return sum / float64(len(batches))
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	acts := tensor.RandN(rng, 1, 16, 8)
+	c, err := BuildCodebooks(acts, Params{V: 2, CT: 4}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTrainableCodebooks(c)
+	s := tc.Snapshot()
+	for i := range c.Data {
+		if s.Data[i] != c.Data[i] {
+			t.Fatal("snapshot differs from source")
+		}
+	}
+	// Mutating the snapshot must not affect the parameters.
+	s.Data[0] += 5
+	if tc.Param.T.Data[0] == s.Data[0] {
+		t.Fatal("snapshot aliases parameter storage")
+	}
+}
+
+func TestReconstructionLossZeroWhenExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := autograd.NewConst(tensor.RandN(rng, 1, 4, 4))
+	l := ReconstructionLoss(a, a, 0.5)
+	if l.T.Data[0] != 0 {
+		t.Fatalf("loss = %v, want 0", l.T.Data[0])
+	}
+}

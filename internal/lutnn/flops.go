@@ -1,0 +1,80 @@
+package lutnn
+
+// OpCount tallies the arithmetic work of a kernel, split the way the paper
+// splits it in Fig. 3: multiplications versus additions (plus comparisons,
+// counted with additions as "cheap" ops).
+type OpCount struct {
+	Muls uint64
+	Adds uint64 // additions, subtractions and comparisons
+}
+
+// Total returns the total operation count.
+func (o OpCount) Total() uint64 { return o.Muls + o.Adds }
+
+// GEMMOps returns the cost of an N×H by H×F matrix multiply:
+// 2·N·H·F operations, half of which are multiplications (§3.3).
+func GEMMOps(n, h, f int) OpCount {
+	nhf := uint64(n) * uint64(h) * uint64(f)
+	return OpCount{Muls: nhf, Adds: nhf}
+}
+
+// LUTNNOps returns the cost of LUT-NN inference for the same layer with
+// sub-vector length v and ct centroids per codebook (§3.3):
+//
+//	index calculation: 3·N·H·CT ops, of which N·H·CT are multiplications
+//	result accumulation: N·F·(H/V) additions
+func LUTNNOps(n, h, f, v, ct int) OpCount {
+	nhct := uint64(n) * uint64(h) * uint64(ct)
+	reduce := uint64(n) * uint64(f) * uint64(h/v)
+	return OpCount{Muls: nhct, Adds: 2*nhct + reduce}
+}
+
+// Reduction returns FLOP_GEMM / FLOP_LUT-NN, the paper's computation
+// reduction factor (3.66×–18.29× for the Fig. 3 sweep).
+func Reduction(n, h, f, v, ct int) float64 {
+	return float64(GEMMOps(n, h, f).Total()) / float64(LUTNNOps(n, h, f, v, ct).Total())
+}
+
+// CCSOps returns just the host-side closest-centroid-search cost
+// (the index-calculation term).
+func CCSOps(n, h, ct int) OpCount {
+	nhct := uint64(n) * uint64(h) * uint64(ct)
+	return OpCount{Muls: nhct, Adds: 2 * nhct}
+}
+
+// LUTReduceOps returns just the PIM-side table-lookup/accumulate cost.
+func LUTReduceOps(n, cb, f int) OpCount {
+	return OpCount{Adds: uint64(n) * uint64(cb) * uint64(f)}
+}
+
+// Traffic describes the memory traffic of the LUT reduce kernel, used for
+// the roofline analysis in Fig. 4.
+type Traffic struct {
+	IndexBytes  uint64 // N×CB uint8 indices read
+	LUTBytes    uint64 // table elements streamed per lookup
+	OutputBytes uint64 // N×F float32 results written
+}
+
+// Total returns the summed byte traffic.
+func (t Traffic) Total() uint64 { return t.IndexBytes + t.LUTBytes + t.OutputBytes }
+
+// LUTKernelTraffic models the DRAM traffic of the reduce kernel assuming
+// no table reuse in cache (the tables exceed LLC for every layer the paper
+// evaluates): each of the N·CB lookups streams F table elements of
+// lutElemBytes each.
+func LUTKernelTraffic(n, cb, f, lutElemBytes int) Traffic {
+	return Traffic{
+		IndexBytes:  uint64(n) * uint64(cb),
+		LUTBytes:    uint64(n) * uint64(cb) * uint64(f) * uint64(lutElemBytes),
+		OutputBytes: uint64(n) * uint64(f) * 4,
+	}
+}
+
+// ArithmeticIntensity returns ops/byte of the LUT reduce kernel, the x-axis
+// of the paper's roofline plot (0.204–0.288 for their FP32-resident
+// working sets).
+func ArithmeticIntensity(n, cb, f, lutElemBytes int) float64 {
+	ops := LUTReduceOps(n, cb, f).Total()
+	bytes := LUTKernelTraffic(n, cb, f, lutElemBytes).Total()
+	return float64(ops) / float64(bytes)
+}

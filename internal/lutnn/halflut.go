@@ -1,0 +1,64 @@
+package lutnn
+
+import "repro/internal/tensor"
+
+// HalfLUT is the 16-bit form of the lookup tables used on the SIMD MAC
+// platforms: FP16 on HBM-PIM, BF16 on AiM. Unlike the INT8 form there is
+// no shared scale — each entry is independently rounded, exactly as the
+// hardware datatype would store it.
+type HalfLUT struct {
+	CB, CT, F int
+	BF        bool // bfloat16 (AiM) vs IEEE binary16 (HBM-PIM)
+	Data      []uint16
+}
+
+// QuantizeHalf converts l to FP16 (bf=false) or BF16 (bf=true).
+func (l *LUT) QuantizeHalf(bf bool) *HalfLUT {
+	h := &HalfLUT{CB: l.CB, CT: l.CT, F: l.F, BF: bf, Data: make([]uint16, len(l.Data))}
+	if bf {
+		for i, v := range l.Data {
+			h.Data[i] = uint16(tensor.ToBFloat16(v))
+		}
+	} else {
+		for i, v := range l.Data {
+			h.Data[i] = uint16(tensor.ToFloat16(v))
+		}
+	}
+	return h
+}
+
+// Slice returns the raw 16-bit F-length vector for (cb, ct).
+func (h *HalfLUT) Slice(cb, ct int) []uint16 {
+	off := (cb*h.CT + ct) * h.F
+	return h.Data[off : off+h.F]
+}
+
+// SizeBytes returns the table footprint.
+func (h *HalfLUT) SizeBytes() int { return len(h.Data) * 2 }
+
+// decode converts one stored entry to float32.
+func (h *HalfLUT) decode(v uint16) float32 {
+	if h.BF {
+		return tensor.BFloat16(v).Float32()
+	}
+	return tensor.Float16(v).Float32()
+}
+
+// Lookup accumulates 16-bit entries in float32, matching the MAC-unit
+// behaviour of HBM-PIM/AiM (16-bit operands, wide accumulators).
+func (h *HalfLUT) Lookup(idx []uint8, n int) *tensor.Tensor {
+	if len(idx) != n*h.CB {
+		panic("lutnn: index matrix length mismatch")
+	}
+	out := tensor.New(n, h.F)
+	for i := 0; i < n; i++ {
+		dst := out.Row(i)
+		for cb := 0; cb < h.CB; cb++ {
+			src := h.Slice(cb, int(idx[i*h.CB+cb]))
+			for f, v := range src {
+				dst[f] += h.decode(v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package lutnn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// PerCBQuantizedLUT is an INT8 table with one symmetric scale per
+// codebook. Partial-sum magnitudes differ strongly across codebooks (each
+// is centroid·weight-column for a different column), so per-codebook
+// scales cut quantization error substantially versus the single-scale
+// form — at the cost of one extra multiply per accumulated slice, which
+// is why the UPMEM deployment default remains the shared-scale table (the
+// DPU's multiplier is slow) while per-codebook fits the MAC platforms.
+type PerCBQuantizedLUT struct {
+	CB, CT, F int
+	Data      []int8
+	Scales    []float32 // one per codebook
+}
+
+// QuantizePerCB converts l to INT8 with per-codebook scales.
+func (l *LUT) QuantizePerCB() *PerCBQuantizedLUT {
+	q := &PerCBQuantizedLUT{
+		CB: l.CB, CT: l.CT, F: l.F,
+		Data:   make([]int8, len(l.Data)),
+		Scales: make([]float32, l.CB),
+	}
+	stride := l.CT * l.F
+	for cb := 0; cb < l.CB; cb++ {
+		seg := l.Data[cb*stride : (cb+1)*stride]
+		var maxAbs float32
+		for _, v := range seg {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1
+		}
+		q.Scales[cb] = scale
+		inv := 1 / scale
+		dst := q.Data[cb*stride : (cb+1)*stride]
+		for i, v := range seg {
+			r := math.Round(float64(v * inv))
+			if r > 127 {
+				r = 127
+			} else if r < -127 {
+				r = -127
+			}
+			dst[i] = int8(r)
+		}
+	}
+	return q
+}
+
+// Slice returns the int8 F-length vector for (cb, ct).
+func (q *PerCBQuantizedLUT) Slice(cb, ct int) []int8 {
+	off := (cb*q.CT + ct) * q.F
+	return q.Data[off : off+q.F]
+}
+
+// SizeBytes returns the table footprint (scales included).
+func (q *PerCBQuantizedLUT) SizeBytes() int { return len(q.Data) + 4*len(q.Scales) }
+
+// Lookup accumulates scale[cb]·int8 slices in float32.
+func (q *PerCBQuantizedLUT) Lookup(idx []uint8, n int) *tensor.Tensor {
+	if len(idx) != n*q.CB {
+		panic("lutnn: index matrix length mismatch")
+	}
+	out := tensor.New(n, q.F)
+	for i := 0; i < n; i++ {
+		dst := out.Row(i)
+		for cb := 0; cb < q.CB; cb++ {
+			s := q.Scales[cb]
+			src := q.Slice(cb, int(idx[i*q.CB+cb]))
+			for f, v := range src {
+				dst[f] += s * float32(v)
+			}
+		}
+	}
+	return out
+}

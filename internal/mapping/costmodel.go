@@ -1,0 +1,128 @@
+// Package mapping implements the analytical performance model of the LUT
+// operator on DRAM-PIMs (paper §5.2, Eqs. 3–10) and the enumeration of the
+// auto-tuner's search space (§5.3, P1–P4).
+//
+// The model is a deliberate simplification of the simulator in the pim
+// package: load and store counts come from closed-form reuse formulas
+// (LCount/SCount in Table 2) with one DMA per logical tile load, whereas
+// the simulator skips first-visit output loads and splits staging loads at
+// the hardware DMA granularity. The residual disagreement is the cost-model
+// error the paper quantifies in §6.6 (3.44% average, 13.73% max).
+package mapping
+
+import "repro/internal/pim"
+
+// Cost evaluates Eqs. 3–10 for mapping m of workload w on platform p.
+func Cost(p *pim.Platform, w pim.Workload, m pim.Mapping) pim.Timing {
+	var t pim.Timing
+	npe := m.PEs(w)
+
+	// --- Step 1: sub-LUT partition (Eqs. 3–5). Shared-memory platforms
+	// write each tensor once into device memory instead of per-PE copies.
+	idxCopies, lutCopies := float64(npe), float64(npe)
+	if p.SharedMemoryHost {
+		idxCopies = float64(m.Groups(w))
+		lutCopies = float64(m.PEsPerGroup(w))
+	}
+	idxBytes := float64(m.NsTile*w.CB) * idxCopies
+	idxMode := pim.Scatter
+	if m.PEsPerGroup(w) > 1 {
+		idxMode = pim.Broadcast
+	}
+	t.HostIndex = p.HostTransferTime(idxBytes, idxMode)
+
+	lutBytes := float64(w.CB*w.CT*m.FsTile*w.ElemBytes) * lutCopies
+	lutMode := pim.Scatter
+	if m.Groups(w) > 1 {
+		lutMode = pim.Broadcast
+	}
+	t.HostLUT = p.HostTransferTime(lutBytes, lutMode)
+	t.HostOutput = p.HostTransferTime(float64(w.OutputBytes()), pim.Gather)
+
+	// --- Step 2: micro kernel (Eqs. 6–10).
+	tn := m.NsTile / m.NmTile
+	tf := m.FsTile / m.FmTile
+	tcb := w.CB / m.CBmTile
+	trips := map[pim.Loop]int{pim.LoopN: tn, pim.LoopF: tf, pim.LoopCB: tcb}
+	visits := func(dims ...pim.Loop) int {
+		in := func(l pim.Loop) bool {
+			for _, d := range dims {
+				if d == l {
+					return true
+				}
+			}
+			return false
+		}
+		deepest := -1
+		for i, l := range m.Traversal {
+			if in(l) {
+				deepest = i
+			}
+		}
+		prod := 1
+		for i := 0; i <= deepest; i++ {
+			prod *= trips[m.Traversal[i]]
+		}
+		return prod
+	}
+
+	var bytes, lutKBytes float64
+	var ops int
+
+	// Index MTiles (LCount_index × MTileSize_index, Eq. 8).
+	iv := visits(pim.LoopN, pim.LoopCB)
+	bytes += float64(iv) * float64(m.NmTile*m.CBmTile)
+	ops += iv
+
+	// Output MTiles (Eqs. 8–9): every visit stores; loads skip each tile's
+	// first visit because accumulators start at zero on-chip.
+	ov := visits(pim.LoopN, pim.LoopF)
+	distinct := tn * tf
+	bytes += float64(2*ov-distinct) * float64(m.NmTile*m.FmTile*4)
+	ops += 2*ov - distinct
+
+	// LUT traffic per load scheme (P4).
+	switch m.Scheme {
+	case pim.StaticLoad:
+		lutKBytes += float64(w.CB * w.CT * m.FsTile * w.ElemBytes)
+		ops++
+	case pim.CoarseLoad:
+		lv := visits(pim.LoopCB, pim.LoopF)
+		per := (m.CBmTile / m.CBLoadTile) * (m.FmTile / m.FLoadTile)
+		lutKBytes += float64(lv) * float64(per) * float64(m.CBLoadTile*w.CT*m.FLoadTile*w.ElemBytes)
+		ops += lv * per
+	case pim.FineLoad:
+		elems := float64(m.NsTile) * float64(w.CB) * float64(m.FsTile)
+		lutKBytes += elems * float64(w.ElemBytes)
+		ops += int(elems) / m.FLoadTile
+	}
+	eff := p.LUTAccessEff
+	if eff <= 0 {
+		eff = 1
+	}
+	t.KernelXfer = p.LocalTransferTime(bytes+lutKBytes/eff, ops)
+
+	// Reduce latency (Eq. 10): RCount × t_single-reduce.
+	rcount := float64(m.NsTile) * float64(w.CB) * float64(m.FsTile)
+	t.KernelRed = p.ReduceTime(rcount, m.Scheme)
+	if p.OverlapComputeTransfer {
+		if t.KernelXfer >= t.KernelRed {
+			t.KernelRed = 0
+		} else {
+			t.KernelXfer = 0
+		}
+	}
+	return t
+}
+
+// ModelError returns |model − sim| / sim for total operator time, the
+// quantity reported in §6.6.
+func ModelError(p *pim.Platform, w pim.Workload, m pim.Mapping) float64 {
+	model := Cost(p, w, m).Total()
+	sim := pim.SimTiming(p, w, m).Total()
+	d := model - sim
+	if d < 0 {
+		d = -d
+	}
+	return d / sim
+}

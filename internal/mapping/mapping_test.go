@@ -1,0 +1,231 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/pim"
+)
+
+func bertWorkload() pim.Workload {
+	// BERT-base FFN1 at batch 8 × seq 512, V=4, CT=16, INT8 tables.
+	return pim.Workload{N: 4096, CB: 192, CT: 16, F: 3072, ElemBytes: 1}
+}
+
+func TestDivisorsExactWhenSmall(t *testing.T) {
+	ds := divisors(12, 0)
+	want := []int{1, 2, 3, 4, 6, 12}
+	if len(ds) != len(want) {
+		t.Fatalf("divisors(12) = %v", ds)
+	}
+	for i, d := range want {
+		if ds[i] != d {
+			t.Fatalf("divisors(12) = %v", ds)
+		}
+	}
+}
+
+func TestDivisorsCapped(t *testing.T) {
+	ds := divisors(1<<12, 5)
+	if len(ds) > 5 {
+		t.Fatalf("cap ignored: %v", ds)
+	}
+	if ds[0] != 1 || ds[len(ds)-1] != 4096 {
+		t.Fatalf("extremes must survive capping: %v", ds)
+	}
+}
+
+func TestSubLUTPartitionsRespectPECount(t *testing.T) {
+	p := pim.UPMEM()
+	w := bertWorkload()
+	for _, sf := range SubLUTPartitions(p, w, SpaceConfig{}) {
+		npe := (w.N / sf[0]) * (w.F / sf[1])
+		if npe > p.NumPE {
+			t.Fatalf("partition %v uses %d PEs > %d", sf, npe, p.NumPE)
+		}
+	}
+}
+
+func TestSubLUTPartitionsAllPEsFilter(t *testing.T) {
+	p := pim.UPMEM()
+	w := bertWorkload()
+	for _, sf := range SubLUTPartitions(p, w, SpaceConfig{RequireAllPEs: true}) {
+		if npe := (w.N / sf[0]) * (w.F / sf[1]); npe != p.NumPE {
+			t.Fatalf("partition %v uses %d PEs, want exactly %d", sf, npe, p.NumPE)
+		}
+	}
+}
+
+func TestEnumerateYieldsOnlyValidMappings(t *testing.T) {
+	p := pim.UPMEM()
+	w := pim.Workload{N: 256, CB: 32, CT: 16, F: 256, ElemBytes: 1}
+	count := 0
+	Enumerate(p, w, SpaceConfig{MaxDivisors: 4}, func(m pim.Mapping) {
+		count++
+		if err := m.Validate(p, w); err != nil {
+			t.Fatalf("enumerated invalid mapping %v: %v", m, err)
+		}
+	})
+	if count == 0 {
+		t.Fatal("empty mapping space")
+	}
+	t.Logf("enumerated %d mappings", count)
+}
+
+func TestAllSchemesRepresented(t *testing.T) {
+	p := pim.UPMEM()
+	w := pim.Workload{N: 256, CB: 32, CT: 16, F: 256, ElemBytes: 1}
+	seen := map[pim.LoadScheme]bool{}
+	Enumerate(p, w, SpaceConfig{MaxDivisors: 6}, func(m pim.Mapping) {
+		seen[m.Scheme] = true
+	})
+	for _, s := range Schemes {
+		if !seen[s] {
+			t.Fatalf("scheme %v missing from enumeration", s)
+		}
+	}
+}
+
+func TestCostPositiveAndDecomposable(t *testing.T) {
+	p := pim.UPMEM()
+	w := pim.Workload{N: 256, CB: 32, CT: 16, F: 256, ElemBytes: 1}
+	m := pim.Mapping{NsTile: 64, FsTile: 64, NmTile: 8, FmTile: 8, CBmTile: 8,
+		Traversal: [3]pim.Loop{pim.LoopN, pim.LoopF, pim.LoopCB},
+		Scheme:    pim.CoarseLoad, CBLoadTile: 1, FLoadTile: 8}
+	if err := m.Validate(p, w); err != nil {
+		t.Fatal(err)
+	}
+	c := Cost(p, w, m)
+	if c.Total() <= 0 || c.Sub() <= 0 || c.Kernel() <= 0 {
+		t.Fatalf("bad cost %+v", c)
+	}
+}
+
+func TestCostModelTracksSimulator(t *testing.T) {
+	// The model must stay within a modest relative error of the simulator
+	// across the space (paper: 3.44% average, 13.73% max on hardware; we
+	// allow more headroom since our "hardware" differs in different ways).
+	p := pim.UPMEM()
+	w := pim.Workload{N: 512, CB: 64, CT: 16, F: 512, ElemBytes: 1}
+	var worst, sum float64
+	var n int
+	Enumerate(p, w, SpaceConfig{MaxDivisors: 4}, func(m pim.Mapping) {
+		e := ModelError(p, w, m)
+		sum += e
+		if e > worst {
+			worst = e
+		}
+		n++
+	})
+	if n == 0 {
+		t.Fatal("no mappings scored")
+	}
+	avg := sum / float64(n)
+	t.Logf("model error: avg %.2f%%, worst %.2f%% over %d mappings", avg*100, worst*100, n)
+	if avg > 0.15 {
+		t.Fatalf("average model error %.1f%% too high", avg*100)
+	}
+	if worst > 0.60 {
+		t.Fatalf("worst model error %.1f%% too high", worst*100)
+	}
+}
+
+func TestCostRankingMatchesSimulatorRoughly(t *testing.T) {
+	// If the model says mapping A is ≥3× cheaper than B, the simulator
+	// must agree on the direction.
+	p := pim.UPMEM()
+	w := pim.Workload{N: 512, CB: 64, CT: 16, F: 512, ElemBytes: 1}
+	type scored struct {
+		m    pim.Mapping
+		cost float64
+	}
+	var all []scored
+	Enumerate(p, w, SpaceConfig{MaxDivisors: 4}, func(m pim.Mapping) {
+		all = append(all, scored{m, Cost(p, w, m).Total()})
+	})
+	for i := 0; i < len(all); i += 37 {
+		for j := i + 13; j < len(all); j += 97 {
+			a, b := all[i], all[j]
+			if a.cost*3 < b.cost {
+				sa := pim.SimTiming(p, w, a.m).Total()
+				sb := pim.SimTiming(p, w, b.m).Total()
+				if sa > sb {
+					t.Fatalf("model says %v ≪ %v but simulator disagrees (%g vs %g)",
+						a.m, b.m, sa, sb)
+				}
+			}
+		}
+	}
+}
+
+func randomLegalMapping(seed int64, p *pim.Platform, w pim.Workload) (pim.Mapping, bool) {
+	var out pim.Mapping
+	found := false
+	i := int64(0)
+	Enumerate(p, w, SpaceConfig{MaxDivisors: 4}, func(m pim.Mapping) {
+		if !found || (seed+i)%17 == 0 {
+			out = m
+			found = true
+		}
+		i++
+	})
+	return out, found
+}
+
+func TestCostMonotoneInBankBandwidth(t *testing.T) {
+	// Property: a platform with faster local banks is never slower.
+	w := pim.Workload{N: 256, CB: 32, CT: 8, F: 256, ElemBytes: 1}
+	for seed := int64(0); seed < 20; seed++ {
+		slow := pim.UPMEM()
+		fast := pim.UPMEM()
+		fast.LocalBWPerPE *= 2
+		m, ok := randomLegalMapping(seed, slow, w)
+		if !ok {
+			t.Fatal("no legal mapping")
+		}
+		if Cost(fast, w, m).Total() > Cost(slow, w, m).Total() {
+			t.Fatalf("faster banks increased cost for %v", m)
+		}
+	}
+}
+
+func TestCostMonotoneInReduceRate(t *testing.T) {
+	w := pim.Workload{N: 256, CB: 32, CT: 8, F: 256, ElemBytes: 1}
+	for seed := int64(0); seed < 20; seed++ {
+		base := pim.UPMEM()
+		faster := pim.UPMEM()
+		faster.ReduceCycles /= 2
+		m, ok := randomLegalMapping(seed, base, w)
+		if !ok {
+			t.Fatal("no legal mapping")
+		}
+		if Cost(faster, w, m).Total() > Cost(base, w, m).Total() {
+			t.Fatalf("faster reduce increased cost for %v", m)
+		}
+	}
+}
+
+func TestSimMatchesModelStructure(t *testing.T) {
+	// Property: model and simulator agree on which component dominates
+	// (kernel vs host transfers) for every mapping in a reduced space.
+	p := pim.UPMEM()
+	w := pim.Workload{N: 256, CB: 32, CT: 8, F: 256, ElemBytes: 1}
+	checked := 0
+	Enumerate(p, w, SpaceConfig{MaxDivisors: 3}, func(m pim.Mapping) {
+		mod := Cost(p, w, m)
+		sim := pim.SimTiming(p, w, m)
+		modKernelDominant := mod.Kernel() > mod.Sub()
+		simKernelDominant := sim.Kernel() > sim.Sub()
+		// Only flag clear-cut disagreements (>2x margin on both sides).
+		if modKernelDominant != simKernelDominant {
+			ratioM := mod.Kernel() / mod.Sub()
+			ratioS := sim.Kernel() / sim.Sub()
+			if (ratioM > 2 || ratioM < 0.5) && (ratioS > 2 || ratioS < 0.5) {
+				t.Fatalf("model and sim disagree on dominant phase for %v", m)
+			}
+		}
+		checked++
+	})
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}

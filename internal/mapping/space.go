@@ -1,0 +1,130 @@
+package mapping
+
+import "repro/internal/pim"
+
+// Orders lists all six tile-traversal permutations (P3).
+var Orders = [][3]pim.Loop{
+	{pim.LoopN, pim.LoopF, pim.LoopCB},
+	{pim.LoopN, pim.LoopCB, pim.LoopF},
+	{pim.LoopF, pim.LoopN, pim.LoopCB},
+	{pim.LoopF, pim.LoopCB, pim.LoopN},
+	{pim.LoopCB, pim.LoopN, pim.LoopF},
+	{pim.LoopCB, pim.LoopF, pim.LoopN},
+}
+
+// Schemes lists the three LUT load schemes (P4).
+var Schemes = []pim.LoadScheme{pim.StaticLoad, pim.CoarseLoad, pim.FineLoad}
+
+// divisors returns the divisors of n in increasing order, capped to at
+// most maxCount entries spread across the range (small, middle and large
+// divisors are all represented).
+func divisors(n, maxCount int) []int {
+	var ds []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			ds = append(ds, d)
+		}
+	}
+	if maxCount <= 0 || len(ds) <= maxCount {
+		return ds
+	}
+	out := make([]int, 0, maxCount)
+	step := float64(len(ds)-1) / float64(maxCount-1)
+	last := -1
+	for i := 0; i < maxCount; i++ {
+		j := int(float64(i)*step + 0.5)
+		if j != last {
+			out = append(out, ds[j])
+			last = j
+		}
+	}
+	return out
+}
+
+// SpaceConfig bounds the enumeration so full sweeps stay tractable.
+type SpaceConfig struct {
+	// MaxDivisors caps the candidate list per dimension (default 12).
+	MaxDivisors int
+	// RequireAllPEs, when set, keeps only sub-LUT partitions that use
+	// every PE (the paper pads workloads so they partition evenly).
+	RequireAllPEs bool
+}
+
+func (c SpaceConfig) maxDiv() int {
+	if c.MaxDivisors <= 0 {
+		return 12
+	}
+	return c.MaxDivisors
+}
+
+// SubLUTPartitions enumerates legal (NsTile, FsTile) pairs (P1) for w on p.
+func SubLUTPartitions(p *pim.Platform, w pim.Workload, cfg SpaceConfig) [][2]int {
+	var out [][2]int
+	for _, ns := range divisors(w.N, cfg.maxDiv()) {
+		for _, fs := range divisors(w.F, cfg.maxDiv()) {
+			npe := (w.N / ns) * (w.F / fs)
+			if npe > p.NumPE {
+				continue
+			}
+			if cfg.RequireAllPEs && npe != p.NumPE {
+				continue
+			}
+			out = append(out, [2]int{ns, fs})
+		}
+	}
+	return out
+}
+
+// MicroKernels enumerates micro-kernel candidates (P2–P4) for a fixed
+// sub-LUT partition, yielding only mappings that pass platform validation.
+func MicroKernels(p *pim.Platform, w pim.Workload, ns, fs int, cfg SpaceConfig, yield func(pim.Mapping)) {
+	nmC := divisors(ns, cfg.maxDiv())
+	fmC := divisors(fs, cfg.maxDiv())
+	cbC := divisors(w.CB, cfg.maxDiv())
+	for _, nm := range nmC {
+		for _, fm := range fmC {
+			for _, cbm := range cbC {
+				for _, ord := range Orders {
+					for _, sc := range Schemes {
+						base := pim.Mapping{
+							NsTile: ns, FsTile: fs,
+							NmTile: nm, FmTile: fm, CBmTile: cbm,
+							Traversal: ord, Scheme: sc,
+						}
+						switch sc {
+						case pim.StaticLoad:
+							if base.Validate(p, w) == nil {
+								yield(base)
+							}
+						case pim.CoarseLoad:
+							for _, cbl := range divisors(cbm, 4) {
+								for _, fl := range divisors(fm, 4) {
+									m := base
+									m.CBLoadTile, m.FLoadTile = cbl, fl
+									if m.Validate(p, w) == nil {
+										yield(m)
+									}
+								}
+							}
+						case pim.FineLoad:
+							for _, fl := range divisors(fm, 4) {
+								m := base
+								m.FLoadTile = fl
+								if m.Validate(p, w) == nil {
+									yield(m)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Enumerate walks the whole legal mapping space for w on p.
+func Enumerate(p *pim.Platform, w pim.Workload, cfg SpaceConfig, yield func(pim.Mapping)) {
+	for _, sf := range SubLUTPartitions(p, w, cfg) {
+		MicroKernels(p, w, sf[0], sf[1], cfg, yield)
+	}
+}

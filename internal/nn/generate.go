@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LMHead turns the model into a token predictor: logits over the
+// vocabulary for the LAST position of each sequence, computed by
+// projecting through the (tied) embedding table. Requires TokenInput.
+func (m *Model) LMHead(b *Batch) *tensor.Tensor {
+	if m.Config.Kind != TokenInput {
+		panic("nn: LMHead requires TokenInput")
+	}
+	c := m.Config
+	x := m.embedInfer(b)
+	for _, blk := range m.Blocks {
+		h := tensor.LayerNormRows(x, blk.LN1g.T, blk.LN1b.T, 1e-5)
+		qkv := blk.QKV.Infer(h)
+		att := inferAttention(qkv, c)
+		x = tensor.AddInPlace(blk.O.Infer(att), x)
+		h = tensor.LayerNormRows(x, blk.LN2g.T, blk.LN2b.T, 1e-5)
+		inner := tensor.GELU(blk.FFN1.Infer(h))
+		x = tensor.AddInPlace(blk.FFN2.Infer(inner), x)
+	}
+	x = tensor.LayerNormRows(x, m.FinalLNg.T, m.FinalLNb.T, 1e-5)
+	// Last position of each sequence, projected onto the embedding table
+	// (weight tying, the standard LM head).
+	batch := b.BatchN
+	last := tensor.New(batch, c.Hidden)
+	for s := 0; s < batch; s++ {
+		copy(last.Row(s), x.Row((s+1)*c.SeqLen-1))
+	}
+	return tensor.MatMulT(last, m.Embed.T)
+}
+
+// Generate continues each prompt autoregressively for steps tokens using
+// greedy decoding (or temperature sampling when rng is non-nil and
+// temperature > 0). The model must be causal; the context window slides
+// once prompts exceed SeqLen.
+func (m *Model) Generate(prompt []int, steps int, temperature float64, rng *rand.Rand) ([]int, error) {
+	c := m.Config
+	if c.Kind != TokenInput {
+		return nil, fmt.Errorf("nn: Generate requires TokenInput")
+	}
+	if !c.Causal {
+		return nil, fmt.Errorf("nn: Generate requires a causal model")
+	}
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("nn: empty prompt")
+	}
+	seq := append([]int(nil), prompt...)
+	for step := 0; step < steps; step++ {
+		// Window: the last SeqLen tokens, left-padded with token 0.
+		window := make([]int, c.SeqLen)
+		start := len(seq) - c.SeqLen
+		for i := 0; i < c.SeqLen; i++ {
+			j := start + i
+			if j >= 0 {
+				window[i] = seq[j]
+			}
+		}
+		logits := m.LMHead(&Batch{TokenIDs: window, BatchN: 1})
+		next := pickToken(logits.Row(0), temperature, rng)
+		seq = append(seq, next)
+	}
+	return seq[len(prompt):], nil
+}
+
+// pickToken selects greedily, or samples from softmax(logits/T).
+func pickToken(logits []float32, temperature float64, rng *rand.Rand) int {
+	if temperature <= 0 || rng == nil {
+		best := 0
+		for i, v := range logits {
+			if v > logits[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	scaled := tensor.New(1, len(logits))
+	for i, v := range logits {
+		scaled.Data[i] = v / float32(temperature)
+	}
+	probs := tensor.SoftmaxRows(scaled)
+	r := rng.Float64()
+	var acc float64
+	for i, p := range probs.Data {
+		acc += float64(p)
+		if r <= acc {
+			return i
+		}
+	}
+	return len(logits) - 1
+}

@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/autograd"
+)
+
+// Schedule shapes the learning rate over training. step counts optimizer
+// updates; total is Epochs × len(batches).
+type Schedule func(step, total int, base float64) float64
+
+// ConstantLR keeps the base rate.
+func ConstantLR(_, _ int, base float64) float64 { return base }
+
+// WarmupCosine ramps linearly over the first 10% of steps, then decays
+// with a cosine to 10% of the base rate — the standard transformer
+// fine-tuning schedule.
+func WarmupCosine(step, total int, base float64) float64 {
+	if total <= 1 {
+		return base
+	}
+	warm := total / 10
+	if warm < 1 {
+		warm = 1
+	}
+	if step < warm {
+		return base * float64(step+1) / float64(warm)
+	}
+	frac := float64(step-warm) / float64(total-warm)
+	return base * (0.1 + 0.9*0.5*(1+math.Cos(math.Pi*frac)))
+}
+
+// TrainConfig controls model training.
+type TrainConfig struct {
+	LearningRate float64
+	Epochs       int
+	ClipNorm     float64
+	// WeightDecay applies decoupled L2 decay (AdamW-style) each step.
+	WeightDecay float64
+	// Schedule shapes the learning rate (nil = constant).
+	Schedule Schedule
+	// Progress, if non-nil, is called after each epoch with the mean loss.
+	Progress func(epoch int, loss float64)
+}
+
+// Train fits the model to the batches with Adam + cross-entropy.
+func (m *Model) Train(batches []*Batch, cfg TrainConfig) {
+	params := m.Params()
+	opt := autograd.NewAdam(cfg.LearningRate, params...)
+	opt.ClipMax = cfg.ClipNorm
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = ConstantLR
+	}
+	total := cfg.Epochs * len(batches)
+	step := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		var sum float64
+		for _, b := range batches {
+			opt.LR = sched(step, total, cfg.LearningRate)
+			opt.ZeroGrad()
+			loss := m.Loss(b)
+			loss.Backward()
+			opt.Step()
+			if cfg.WeightDecay > 0 {
+				decay := float32(opt.LR * cfg.WeightDecay)
+				for _, p := range params {
+					for i := range p.T.Data {
+						p.T.Data[i] -= decay * p.T.Data[i]
+					}
+				}
+			}
+			sum += float64(loss.T.Data[0])
+			step++
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(e, sum/float64(len(batches)))
+		}
+	}
+}

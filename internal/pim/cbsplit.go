@@ -1,0 +1,55 @@
+package pim
+
+// This file models the partition scheme the paper deliberately REJECTS:
+// splitting the codebook (CB) dimension across PEs. Doing so makes each PE
+// produce a partial sum of the full output tile, which must be merged —
+// and with no inter-PE datapath (limitation L2), merging means
+// round-tripping every partial through the host. Quantifying this cost
+// justifies design decision #3 in DESIGN.md (CB and CT stay untiled).
+
+// CBSplitTiming models the LUT operator with the CB dimension split
+// `ways` times on top of mapping m: each PE handles CB/ways codebooks of
+// its (Ns, Fs) tile, and the host gathers and reduces `ways` partial
+// output tiles per final tile.
+func CBSplitTiming(p *Platform, w Workload, m Mapping, ways int) Timing {
+	if ways <= 1 {
+		return SimTiming(p, w, m)
+	}
+	sub := w
+	sub.CB = w.CB / ways
+	if sub.CB == 0 {
+		sub.CB = 1
+	}
+	subM := m
+	if subM.CBmTile > sub.CB {
+		subM.CBmTile = sub.CB
+	}
+	t := timing(p, sub, subM, countEvents(p, sub, subM))
+
+	// Partial-sum merging through the host (L2): every final output byte
+	// is gathered `ways` times instead of once, then reduced by the host
+	// at its memory bandwidth (modelled inside the gather term via the
+	// extra traffic) and scattered nowhere — the host keeps the result.
+	partialBytes := float64(w.OutputBytes()) * float64(ways)
+	t.HostOutput = p.HostTransferTime(partialBytes, Gather)
+	return t
+}
+
+// CBSplitPenalty returns the slowdown of splitting CB `ways` times versus
+// spending the same extra PEs on the paper's partition (finer N tiling).
+// Both alternatives use ways× more PEs and do 1/ways of the reduce per PE;
+// only the CB split pays the partial-sum merge, so the ratio isolates the
+// cost of violating L2. NsTile must be divisible by ways.
+func CBSplitPenalty(p *Platform, w Workload, m Mapping, ways int) float64 {
+	base := m
+	base.NsTile = m.NsTile / ways
+	if base.NsTile < 1 {
+		base.NsTile = 1
+	}
+	if base.NmTile > base.NsTile {
+		base.NmTile = base.NsTile
+	}
+	baseT := SimTiming(p, w, base).Total()
+	split := CBSplitTiming(p, w, m, ways).Total()
+	return split / baseT
+}

@@ -1,0 +1,149 @@
+package pim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LoadPlatform reads a platform description from JSON, so users can model
+// DRAM-PIM products beyond the three built-ins. Unset fields inherit from
+// the named Base platform ("upmem", "hbm-pim", "aim"); with no base, all
+// required fields must be present.
+//
+// Example:
+//
+//	{"base": "upmem", "name": "UPMEM-2rank", "numPE": 256, "powerWatts": 28}
+func LoadPlatform(r io.Reader) (*Platform, error) {
+	var raw struct {
+		Base string `json:"base"`
+
+		Name      *string  `json:"name"`
+		NumPE     *int     `json:"numPE"`
+		FreqHz    *float64 `json:"freqHz"`
+		WRAMBytes *int     `json:"wramBytes"`
+		MRAMBytes *int64   `json:"mramBytes"`
+
+		BroadcastBW     *float64 `json:"broadcastBW"`
+		ScatterBW       *float64 `json:"scatterBW"`
+		GatherBW        *float64 `json:"gatherBW"`
+		HostXferLatency *float64 `json:"hostXferLatency"`
+
+		LocalBWPerPE *float64 `json:"localBWPerPE"`
+		DMASetup     *float64 `json:"dmaSetup"`
+		MaxDMABytes  *int     `json:"maxDMABytes"`
+		LUTAccessEff *float64 `json:"lutAccessEff"`
+
+		OverlapComputeTransfer *bool    `json:"overlapComputeTransfer"`
+		ReduceCycles           *float64 `json:"reduceCycles"`
+		FineGrainExtraCycles   *float64 `json:"fineGrainExtraCycles"`
+
+		GEMMMACsPerCycle   *float64 `json:"gemmMACsPerCycle"`
+		GEMMWeightResident *bool    `json:"gemmWeightResident"`
+		GEMVBatchPenalty   *float64 `json:"gemvBatchPenalty"`
+		GEMVRowOverhead    *float64 `json:"gemvRowOverhead"`
+		GEMVEff            *float64 `json:"gemvEff"`
+		SharedMemoryHost   *bool    `json:"sharedMemoryHost"`
+
+		ElemBytes  *int     `json:"elemBytes"`
+		PowerWatts *float64 `json:"powerWatts"`
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("pim: parsing platform config: %w", err)
+	}
+
+	var p *Platform
+	switch raw.Base {
+	case "upmem":
+		p = UPMEM()
+	case "hbm-pim", "hbmpim":
+		p = HBMPIM()
+	case "aim":
+		p = AiM()
+	case "":
+		p = &Platform{}
+	default:
+		return nil, fmt.Errorf("pim: unknown base platform %q", raw.Base)
+	}
+
+	set := func(dst any, src any) {
+		switch d := dst.(type) {
+		case *string:
+			if s := src.(*string); s != nil {
+				*d = *s
+			}
+		case *int:
+			if s := src.(*int); s != nil {
+				*d = *s
+			}
+		case *int64:
+			if s := src.(*int64); s != nil {
+				*d = *s
+			}
+		case *float64:
+			if s := src.(*float64); s != nil {
+				*d = *s
+			}
+		case *bool:
+			if s := src.(*bool); s != nil {
+				*d = *s
+			}
+		}
+	}
+	set(&p.Name, raw.Name)
+	set(&p.NumPE, raw.NumPE)
+	set(&p.FreqHz, raw.FreqHz)
+	set(&p.WRAMBytes, raw.WRAMBytes)
+	set(&p.MRAMBytes, raw.MRAMBytes)
+	set(&p.BroadcastBW, raw.BroadcastBW)
+	set(&p.ScatterBW, raw.ScatterBW)
+	set(&p.GatherBW, raw.GatherBW)
+	set(&p.HostXferLatency, raw.HostXferLatency)
+	set(&p.LocalBWPerPE, raw.LocalBWPerPE)
+	set(&p.DMASetup, raw.DMASetup)
+	set(&p.MaxDMABytes, raw.MaxDMABytes)
+	set(&p.LUTAccessEff, raw.LUTAccessEff)
+	set(&p.OverlapComputeTransfer, raw.OverlapComputeTransfer)
+	set(&p.ReduceCycles, raw.ReduceCycles)
+	set(&p.FineGrainExtraCycles, raw.FineGrainExtraCycles)
+	set(&p.GEMMMACsPerCycle, raw.GEMMMACsPerCycle)
+	set(&p.GEMMWeightResident, raw.GEMMWeightResident)
+	set(&p.GEMVBatchPenalty, raw.GEMVBatchPenalty)
+	set(&p.GEMVRowOverhead, raw.GEMVRowOverhead)
+	set(&p.GEMVEff, raw.GEMVEff)
+	set(&p.SharedMemoryHost, raw.SharedMemoryHost)
+	set(&p.ElemBytes, raw.ElemBytes)
+	set(&p.PowerWatts, raw.PowerWatts)
+
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks the platform for usable values.
+func (p *Platform) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("pim: platform needs a name")
+	case p.NumPE <= 0:
+		return fmt.Errorf("pim: %s: NumPE must be positive", p.Name)
+	case p.FreqHz <= 0:
+		return fmt.Errorf("pim: %s: FreqHz must be positive", p.Name)
+	case p.WRAMBytes <= 0 || p.MRAMBytes <= 0:
+		return fmt.Errorf("pim: %s: memory sizes must be positive", p.Name)
+	case p.BroadcastBW <= 0 || p.ScatterBW <= 0 || p.GatherBW <= 0:
+		return fmt.Errorf("pim: %s: host bandwidths must be positive", p.Name)
+	case p.LocalBWPerPE <= 0:
+		return fmt.Errorf("pim: %s: local bandwidth must be positive", p.Name)
+	case p.MaxDMABytes <= 0:
+		return fmt.Errorf("pim: %s: MaxDMABytes must be positive", p.Name)
+	case p.ReduceCycles <= 0:
+		return fmt.Errorf("pim: %s: ReduceCycles must be positive", p.Name)
+	case p.ElemBytes <= 0:
+		return fmt.Errorf("pim: %s: ElemBytes must be positive", p.Name)
+	}
+	return nil
+}

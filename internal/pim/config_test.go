@@ -1,0 +1,87 @@
+package pim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadPlatformWithBase(t *testing.T) {
+	p, err := LoadPlatform(strings.NewReader(
+		`{"base": "upmem", "name": "UPMEM-2rank", "numPE": 128, "powerWatts": 28}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "UPMEM-2rank" || p.NumPE != 128 || p.PowerWatts != 28 {
+		t.Fatalf("overrides not applied: %+v", p)
+	}
+	// Unset fields inherited from the base.
+	if p.FreqHz != UPMEM().FreqHz || p.WRAMBytes != UPMEM().WRAMBytes {
+		t.Fatal("base fields not inherited")
+	}
+	// Base must stay untouched.
+	if UPMEM().NumPE != 1024 {
+		t.Fatal("base platform mutated")
+	}
+}
+
+func TestLoadPlatformAllBases(t *testing.T) {
+	for _, base := range []string{"upmem", "hbm-pim", "aim"} {
+		p, err := LoadPlatform(strings.NewReader(`{"base": "` + base + `"}`))
+		if err != nil {
+			t.Fatalf("%s: %v", base, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", base, err)
+		}
+	}
+}
+
+func TestLoadPlatformRejectsUnknownBase(t *testing.T) {
+	if _, err := LoadPlatform(strings.NewReader(`{"base": "hmc"}`)); err == nil {
+		t.Fatal("unknown base accepted")
+	}
+}
+
+func TestLoadPlatformRejectsUnknownField(t *testing.T) {
+	if _, err := LoadPlatform(strings.NewReader(`{"base": "upmem", "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLoadPlatformRejectsIncomplete(t *testing.T) {
+	// No base and almost no fields: must fail validation.
+	if _, err := LoadPlatform(strings.NewReader(`{"name": "x"}`)); err == nil {
+		t.Fatal("incomplete platform accepted")
+	}
+}
+
+func TestLoadedPlatformUsableByTuner(t *testing.T) {
+	p, err := LoadPlatform(strings.NewReader(
+		`{"base": "upmem", "name": "slow", "localBWPerPE": 100e6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{N: 64, CB: 16, CT: 8, F: 64, ElemBytes: 1}
+	m := Mapping{NsTile: 16, FsTile: 16, NmTile: 8, FmTile: 8, CBmTile: 4,
+		Traversal: [3]Loop{LoopN, LoopF, LoopCB}, Scheme: StaticLoad}
+	if err := m.Validate(p, w); err != nil {
+		t.Fatal(err)
+	}
+	slow := SimTiming(p, w, m).KernelXfer
+	fast := SimTiming(UPMEM(), w, m).KernelXfer
+	if slow <= fast {
+		t.Fatal("slower banks should cost more")
+	}
+}
+
+func TestPlatformValidateCatchesBadFields(t *testing.T) {
+	good := UPMEM()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := UPMEM()
+	bad.ReduceCycles = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero ReduceCycles accepted")
+	}
+}

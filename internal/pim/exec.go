@@ -1,0 +1,318 @@
+package pim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lutnn"
+	"repro/internal/tensor"
+)
+
+// Events counts, for one PE, the DMA operations and bytes moved between
+// its local bank and on-chip buffer, plus reduce work. All PEs execute the
+// same micro kernel on identically sized tiles (the load-balance property
+// the partition scheme guarantees — paper L3), so one set of counts covers
+// the whole array.
+type Events struct {
+	IndexLoadOps   int
+	IndexLoadBytes int64
+	LUTLoadOps     int
+	LUTLoadBytes   int64
+	OutLoadOps     int
+	OutLoadBytes   int64
+	OutStoreOps    int
+	OutStoreBytes  int64
+	ReduceElems    int64
+}
+
+// Timing decomposes the modelled execution time of one LUT operator
+// (Eqs. 3–10).
+type Timing struct {
+	HostIndex  float64 // t_sub_index: index tiles to PEs
+	HostLUT    float64 // t_sub_lut: table tiles to PEs
+	HostOutput float64 // t_sub_output: results back to host
+	KernelXfer float64 // t_transfer: bank↔buffer traffic, worst PE
+	KernelRed  float64 // t_reduce: accumulate work, worst PE
+}
+
+// Sub returns the sub-LUT partition overhead t_sub-lut (Eq. 3).
+func (t Timing) Sub() float64 { return t.HostIndex + t.HostLUT + t.HostOutput }
+
+// Kernel returns the micro-kernel latency (Eq. 6).
+func (t Timing) Kernel() float64 { return t.KernelXfer + t.KernelRed }
+
+// Total returns end-to-end operator time.
+func (t Timing) Total() float64 { return t.Sub() + t.Kernel() }
+
+// Result is the outcome of a simulated LUT operator execution.
+type Result struct {
+	Output *tensor.Tensor
+	Events Events
+	Timing Timing
+	PEs    int
+}
+
+// countEvents derives the per-PE event counts for mapping m on workload w.
+// The counting follows the actual kernel the simulator executes: output
+// tiles skip the load on their first visit (fresh accumulators) and large
+// staging loads split at the platform's DMA granularity. The analytical
+// model in the mapping package intentionally simplifies both (that gap is
+// the cost-model error quantified in Fig. 13).
+func countEvents(p *Platform, w Workload, m Mapping) Events {
+	tn := m.NsTile / m.NmTile
+	tf := m.FsTile / m.FmTile
+	tcb := w.CB / m.CBmTile
+	trips := map[Loop]int{LoopN: tn, LoopF: tf, LoopCB: tcb}
+
+	// visits(dims) = Π trips of loops from the outermost through the
+	// deepest loop that indexes the tensor (classic reuse analysis).
+	visits := func(dims ...Loop) int {
+		in := func(l Loop) bool {
+			for _, d := range dims {
+				if d == l {
+					return true
+				}
+			}
+			return false
+		}
+		deepest := -1
+		for i, l := range m.Traversal {
+			if in(l) {
+				deepest = i
+			}
+		}
+		prod := 1
+		for i := 0; i <= deepest; i++ {
+			prod *= trips[m.Traversal[i]]
+		}
+		return prod
+	}
+
+	dmaOps := func(bytes int) int {
+		if bytes <= 0 {
+			return 0
+		}
+		return (bytes + p.MaxDMABytes - 1) / p.MaxDMABytes
+	}
+
+	var ev Events
+
+	// Index MTiles: Nm×CBm one-byte entries per visit.
+	idxVisits := visits(LoopN, LoopCB)
+	idxBytes := m.NmTile * m.CBmTile
+	ev.IndexLoadOps = idxVisits * dmaOps(idxBytes)
+	ev.IndexLoadBytes = int64(idxVisits) * int64(idxBytes)
+
+	// Output MTiles: Nm×Fm 4-byte accumulators. Every visit stores; loads
+	// skip the first visit of each distinct tile (accumulators start at
+	// zero on-chip).
+	outVisits := visits(LoopN, LoopF)
+	outBytes := m.NmTile * m.FmTile * 4
+	distinctOut := tn * tf
+	loadVisits := outVisits - distinctOut
+	ev.OutLoadOps = loadVisits * dmaOps(outBytes)
+	ev.OutLoadBytes = int64(loadVisits) * int64(outBytes)
+	ev.OutStoreOps = outVisits * dmaOps(outBytes)
+	ev.OutStoreBytes = int64(outVisits) * int64(outBytes)
+
+	// LUT traffic by load scheme.
+	switch m.Scheme {
+	case StaticLoad:
+		bytes := w.CB * w.CT * m.FsTile * w.ElemBytes
+		ev.LUTLoadOps = dmaOps(bytes)
+		ev.LUTLoadBytes = int64(bytes)
+	case CoarseLoad:
+		lutVisits := visits(LoopCB, LoopF)
+		opsPerVisit := (m.CBmTile / m.CBLoadTile) * (m.FmTile / m.FLoadTile)
+		blockBytes := m.CBLoadTile * w.CT * m.FLoadTile * w.ElemBytes
+		ev.LUTLoadOps = lutVisits * opsPerVisit * dmaOps(blockBytes)
+		ev.LUTLoadBytes = int64(lutVisits) * int64(opsPerVisit) * int64(blockBytes)
+	case FineLoad:
+		// Only the indexed rows are fetched, FLoadTile features at a time.
+		elems := int64(m.NsTile) * int64(w.CB) * int64(m.FsTile)
+		ev.LUTLoadOps = int(elems / int64(m.FLoadTile))
+		ev.LUTLoadBytes = elems * int64(w.ElemBytes)
+	}
+
+	ev.ReduceElems = int64(m.NsTile) * int64(w.CB) * int64(m.FsTile)
+	return ev
+}
+
+// timing converts event counts plus host-transfer sizes into seconds.
+func timing(p *Platform, w Workload, m Mapping, ev Events) Timing {
+	npe := m.PEs(w)
+	var t Timing
+
+	// Sub-LUT partition transfers (Eq. 4): each PE receives its index tile
+	// and LUT tile; reuse across a group/row of PEs upgrades the transfer
+	// to broadcast bandwidth (paper L1). On shared-memory platforms the
+	// tensors are written once into device memory instead of copied per PE.
+	idxCopies, lutCopies := float64(npe), float64(npe)
+	if p.SharedMemoryHost {
+		idxCopies = float64(m.Groups(w))
+		lutCopies = float64(m.PEsPerGroup(w))
+	}
+	idxBytes := float64(m.NsTile*w.CB) * idxCopies
+	idxMode := Scatter
+	if m.PEsPerGroup(w) > 1 {
+		idxMode = Broadcast
+	}
+	t.HostIndex = p.HostTransferTime(idxBytes, idxMode)
+
+	lutBytes := float64(w.CB*w.CT*m.FsTile*w.ElemBytes) * lutCopies
+	lutMode := Scatter
+	if m.Groups(w) > 1 {
+		lutMode = Broadcast
+	}
+	t.HostLUT = p.HostTransferTime(lutBytes, lutMode)
+
+	t.HostOutput = p.HostTransferTime(float64(w.OutputBytes()), Gather)
+
+	// LUT traffic pays the index-driven access derating; the streaming
+	// tensors (index, output) run at full bank bandwidth.
+	eff := p.LUTAccessEff
+	if eff <= 0 {
+		eff = 1
+	}
+	lutBytesEff := float64(ev.LUTLoadBytes) / eff
+	otherBytes := float64(ev.IndexLoadBytes + ev.OutLoadBytes + ev.OutStoreBytes)
+	xferOps := ev.IndexLoadOps + ev.LUTLoadOps + ev.OutLoadOps + ev.OutStoreOps
+	t.KernelXfer = p.LocalTransferTime(lutBytesEff+otherBytes, xferOps)
+	t.KernelRed = p.ReduceTime(float64(ev.ReduceElems), m.Scheme)
+	if p.OverlapComputeTransfer {
+		// MAC engines reduce in-stream: the slower of the two paths sets
+		// the kernel time. Report it all under KernelXfer/KernelRed by
+		// scaling so the decomposition still sums to the total.
+		if t.KernelXfer >= t.KernelRed {
+			t.KernelRed = 0
+		} else {
+			t.KernelXfer = 0
+		}
+	}
+	return t
+}
+
+// SimTiming returns the simulator's timing for mapping m without running
+// the functional kernel: the same event counting the executor uses,
+// converted to seconds. This is the "real performance" the auto-tuner's
+// analytical model is validated against (Fig. 13).
+func SimTiming(p *Platform, w Workload, m Mapping) Timing {
+	return timing(p, w, m, countEvents(p, w, m))
+}
+
+// SimEvents exposes the executor's per-PE event counts for mapping m.
+func SimEvents(p *Platform, w Workload, m Mapping) Events {
+	return countEvents(p, w, m)
+}
+
+// ExecuteLUT runs the LUT operator functionally across simulated PEs with
+// FP32 tables and returns the output plus modelled timing. idx is the
+// N×CB index matrix from CCS.
+func ExecuteLUT(p *Platform, w Workload, m Mapping, idx []uint8, tbl *lutnn.LUT) (*Result, error) {
+	if err := checkShapes(w, m, idx, tbl.CB, tbl.CT, tbl.F); err != nil {
+		return nil, err
+	}
+	out := tensor.New(w.N, w.F)
+	runPEs(w, m, func(rowLo, rowHi, colLo, colHi int) {
+		for r := rowLo; r < rowHi; r++ {
+			dst := out.Row(r)[colLo:colHi]
+			for cb := 0; cb < w.CB; cb++ {
+				src := tbl.Slice(cb, int(idx[r*w.CB+cb]))[colLo:colHi]
+				for f, v := range src {
+					dst[f] += v
+				}
+			}
+		}
+	})
+	ev := countEvents(p, w, m)
+	return &Result{Output: out, Events: ev, Timing: timing(p, w, m, ev), PEs: m.PEs(w)}, nil
+}
+
+// ExecuteLUTInt8 runs the operator with INT8 tables, accumulating in int32
+// per PE exactly as the UPMEM kernel would, and rescaling once at the end.
+func ExecuteLUTInt8(p *Platform, w Workload, m Mapping, idx []uint8, tbl *lutnn.QuantizedLUT) (*Result, error) {
+	if err := checkShapes(w, m, idx, tbl.CB, tbl.CT, tbl.F); err != nil {
+		return nil, err
+	}
+	out := tensor.New(w.N, w.F)
+	runPEs(w, m, func(rowLo, rowHi, colLo, colHi int) {
+		acc := make([]int32, colHi-colLo)
+		for r := rowLo; r < rowHi; r++ {
+			for f := range acc {
+				acc[f] = 0
+			}
+			for cb := 0; cb < w.CB; cb++ {
+				src := tbl.Slice(cb, int(idx[r*w.CB+cb]))[colLo:colHi]
+				for f, v := range src {
+					acc[f] += int32(v)
+				}
+			}
+			dst := out.Row(r)[colLo:colHi]
+			for f, v := range acc {
+				dst[f] = float32(v) * tbl.Scale
+			}
+		}
+	})
+	ev := countEvents(p, w, m)
+	return &Result{Output: out, Events: ev, Timing: timing(p, w, m, ev), PEs: m.PEs(w)}, nil
+}
+
+// ExecuteLUTHalf runs the operator with 16-bit tables (FP16 on HBM-PIM,
+// BF16 on AiM), accumulating in float32 as the platforms' wide MAC
+// accumulators do.
+func ExecuteLUTHalf(p *Platform, w Workload, m Mapping, idx []uint8, tbl *lutnn.HalfLUT) (*Result, error) {
+	if err := checkShapes(w, m, idx, tbl.CB, tbl.CT, tbl.F); err != nil {
+		return nil, err
+	}
+	out := tensor.New(w.N, w.F)
+	runPEs(w, m, func(rowLo, rowHi, colLo, colHi int) {
+		for r := rowLo; r < rowHi; r++ {
+			dst := out.Row(r)[colLo:colHi]
+			for cb := 0; cb < w.CB; cb++ {
+				src := tbl.Slice(cb, int(idx[r*w.CB+cb]))[colLo:colHi]
+				if tbl.BF {
+					for f, v := range src {
+						dst[f] += tensor.BFloat16(v).Float32()
+					}
+				} else {
+					for f, v := range src {
+						dst[f] += tensor.Float16(v).Float32()
+					}
+				}
+			}
+		}
+	})
+	ev := countEvents(p, w, m)
+	return &Result{Output: out, Events: ev, Timing: timing(p, w, m, ev), PEs: m.PEs(w)}, nil
+}
+
+func checkShapes(w Workload, m Mapping, idx []uint8, cb, ct, f int) error {
+	if cb != w.CB || ct != w.CT || f != w.F {
+		return fmt.Errorf("pim: table shape (%d,%d,%d) != workload (%d,%d,%d)", cb, ct, f, w.CB, w.CT, w.F)
+	}
+	if len(idx) != w.N*w.CB {
+		return fmt.Errorf("pim: index length %d != N·CB = %d", len(idx), w.N*w.CB)
+	}
+	if m.NsTile <= 0 || m.FsTile <= 0 || w.N%m.NsTile != 0 || w.F%m.FsTile != 0 {
+		return fmt.Errorf("pim: illegal sub-LUT tiles (%d,%d) for N=%d F=%d", m.NsTile, m.FsTile, w.N, w.F)
+	}
+	return nil
+}
+
+// runPEs executes fn once per simulated PE over that PE's output tile,
+// fanning out across goroutines.
+func runPEs(w Workload, m Mapping, fn func(rowLo, rowHi, colLo, colHi int)) {
+	groups := w.N / m.NsTile
+	perGroup := w.F / m.FsTile
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		for j := 0; j < perGroup; j++ {
+			wg.Add(1)
+			go func(g, j int) {
+				defer wg.Done()
+				fn(g*m.NsTile, (g+1)*m.NsTile, j*m.FsTile, (j+1)*m.FsTile)
+			}(g, j)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,233 @@
+package serial
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lutnn"
+	"repro/internal/pim"
+	"repro/internal/tensor"
+)
+
+func testLayer(t *testing.T, seed int64, withQ, withBias bool) *lutnn.Layer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	acts := tensor.RandN(rng, 1, 64, 16)
+	w := tensor.RandN(rng, 1, 24, 16)
+	var bias *tensor.Tensor
+	if withBias {
+		bias = tensor.RandN(rng, 1, 24)
+	}
+	ly, err := lutnn.Convert(w, bias, acts, lutnn.Params{V: 2, CT: 8}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withQ {
+		ly.EnableINT8()
+	}
+	return ly
+}
+
+func TestCodebooksRoundTrip(t *testing.T) {
+	ly := testLayer(t, 1, false, false)
+	var buf bytes.Buffer
+	if err := WriteCodebooks(&buf, ly.Codebooks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCodebooks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CB != ly.Codebooks.CB || got.CT != ly.Codebooks.CT || got.V != ly.Codebooks.V {
+		t.Fatal("dims lost")
+	}
+	for i := range got.Data {
+		if got.Data[i] != ly.Codebooks.Data[i] {
+			t.Fatal("data corrupted")
+		}
+	}
+}
+
+func TestLUTRoundTrip(t *testing.T) {
+	ly := testLayer(t, 2, false, false)
+	var buf bytes.Buffer
+	if err := WriteLUT(&buf, ly.Table); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLUT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data {
+		if got.Data[i] != ly.Table.Data[i] {
+			t.Fatal("table corrupted")
+		}
+	}
+}
+
+func TestQuantizedLUTRoundTrip(t *testing.T) {
+	ly := testLayer(t, 3, true, false)
+	var buf bytes.Buffer
+	if err := WriteQuantizedLUT(&buf, ly.QTable); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQuantizedLUT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != ly.QTable.Scale {
+		t.Fatal("scale lost")
+	}
+	for i := range got.Data {
+		if got.Data[i] != ly.QTable.Data[i] {
+			t.Fatal("int8 data corrupted")
+		}
+	}
+}
+
+func TestHalfLUTRoundTrip(t *testing.T) {
+	ly := testLayer(t, 4, false, false)
+	for _, bf := range []bool{false, true} {
+		h := ly.Table.QuantizeHalf(bf)
+		var buf bytes.Buffer
+		if err := WriteHalfLUT(&buf, h); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadHalfLUT(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.BF != bf {
+			t.Fatal("BF flag lost")
+		}
+		for i := range got.Data {
+			if got.Data[i] != h.Data[i] {
+				t.Fatal("half data corrupted")
+			}
+		}
+	}
+}
+
+func TestLayerRoundTripFullFidelity(t *testing.T) {
+	for _, tc := range []struct{ q, bias bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	} {
+		ly := testLayer(t, 5, tc.q, tc.bias)
+		var buf bytes.Buffer
+		if err := WriteLayer(&buf, ly); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadLayer(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The loaded layer must produce identical outputs.
+		rng := rand.New(rand.NewSource(6))
+		acts := tensor.RandN(rng, 1, 16, 16)
+		if !tensor.Equal(got.Forward(acts), ly.Forward(acts)) {
+			t.Fatalf("q=%v bias=%v: loaded layer diverges", tc.q, tc.bias)
+		}
+		if (got.QTable != nil) != tc.q || (got.Bias != nil) != tc.bias {
+			t.Fatal("optional fields lost")
+		}
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	m := pim.Mapping{
+		NsTile: 4096, FsTile: 32, NmTile: 128, FmTile: 32, CBmTile: 256,
+		Traversal: [3]pim.Loop{pim.LoopF, pim.LoopCB, pim.LoopN},
+		Scheme:    pim.CoarseLoad, CBLoadTile: 1, FLoadTile: 32,
+	}
+	var buf bytes.Buffer
+	if err := WriteMapping(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMapping(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("mapping changed: %v vs %v", got, m)
+	}
+}
+
+func TestRejectsBadMagic(t *testing.T) {
+	if _, err := ReadCodebooks(bytes.NewReader([]byte("XXXX\x01\x00"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestRejectsTruncated(t *testing.T) {
+	ly := testLayer(t, 7, false, false)
+	var buf bytes.Buffer
+	if err := WriteLUT(&buf, ly.Table); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadLUT(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestRejectsWrongVersion(t *testing.T) {
+	data := append([]byte(magicCodebooks), 0xff, 0x00)
+	if _, err := ReadCodebooks(bytes.NewReader(data)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestRejectsImplausibleDims(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(magicLUT)
+	buf.Write([]byte{1, 0})                   // version
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // CB = 2^32-1
+	buf.Write([]byte{1, 0, 0, 0, 1, 0, 0, 0}) // CT = F = 1
+	if _, err := ReadLUT(&buf); err == nil {
+		t.Fatal("implausible dims accepted")
+	}
+}
+
+func TestEncoderDecoderMultiObjectStream(t *testing.T) {
+	ly := testLayer(t, 8, true, true)
+	m := pim.Mapping{NsTile: 16, FsTile: 8, NmTile: 4, FmTile: 4, CBmTile: 2,
+		Traversal: [3]pim.Loop{pim.LoopN, pim.LoopF, pim.LoopCB},
+		Scheme:    pim.StaticLoad}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Layer(ly); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Mapping(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Layer(ly); err != nil { // a second layer after the mapping
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	l1, err := dec.Layer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, err := dec.Mapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := dec.Layer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotM != m {
+		t.Fatalf("mapping corrupted: %v", gotM)
+	}
+	rng := rand.New(rand.NewSource(9))
+	acts := tensor.RandN(rng, 1, 8, 16)
+	want := ly.Forward(acts)
+	if !tensor.Equal(l1.Forward(acts), want) || !tensor.Equal(l2.Forward(acts), want) {
+		t.Fatal("layers corrupted in multi-object stream")
+	}
+}

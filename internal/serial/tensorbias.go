@@ -1,0 +1,8 @@
+package serial
+
+import "repro/internal/tensor"
+
+// biasTensor wraps raw data as a rank-1 tensor.
+func biasTensor(data []float32) *tensor.Tensor {
+	return tensor.FromSlice(data, len(data))
+}

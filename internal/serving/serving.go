@@ -1,0 +1,217 @@
+// Package serving simulates the batched cloud-serving scenario that
+// motivates PIM-DL (§1: "cloud-based scenarios often require batched
+// inference"): requests arrive over time, a batcher groups them under a
+// max-batch/max-wait policy, and a single inference backend whose latency
+// is a function of batch size (taken from the engine's estimates) serves
+// each batch. The simulator produces per-request latency statistics, so
+// the throughput/latency trade-off between PIM-DL and the CPU baseline
+// can be studied under load, not just at a fixed batch size.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// LatencyModel returns the backend's end-to-end latency for a given batch
+// size. Implementations typically interpolate engine estimates.
+type LatencyModel func(batch int) float64
+
+// Policy is the batching policy: dispatch when MaxBatch requests are
+// waiting, or when the oldest waiting request has waited MaxWait seconds.
+type Policy struct {
+	MaxBatch int
+	MaxWait  float64
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.MaxBatch <= 0 {
+		return fmt.Errorf("serving: MaxBatch must be positive")
+	}
+	if p.MaxWait < 0 {
+		return fmt.Errorf("serving: MaxWait must be non-negative")
+	}
+	return nil
+}
+
+// Completion records one served request.
+type Completion struct {
+	Arrival, Start, Done float64
+	Batch                int // size of the batch it rode in
+}
+
+// Latency returns the request's end-to-end latency.
+func (c Completion) Latency() float64 { return c.Done - c.Arrival }
+
+// Trace is the outcome of a simulation run.
+type Trace struct {
+	Completions []Completion
+	Batches     int
+	// Makespan is the time the last batch finishes.
+	Makespan float64
+}
+
+// MeanLatency returns the average request latency.
+func (t *Trace) MeanLatency() float64 {
+	if len(t.Completions) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range t.Completions {
+		s += c.Latency()
+	}
+	return s / float64(len(t.Completions))
+}
+
+// Percentile returns the p-th latency percentile (p in [0,100]).
+func (t *Trace) Percentile(p float64) float64 {
+	if len(t.Completions) == 0 {
+		return 0
+	}
+	ls := make([]float64, len(t.Completions))
+	for i, c := range t.Completions {
+		ls[i] = c.Latency()
+	}
+	sort.Float64s(ls)
+	i := int(math.Ceil(p/100*float64(len(ls)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ls) {
+		i = len(ls) - 1
+	}
+	return ls[i]
+}
+
+// Throughput returns served requests per second over the makespan.
+func (t *Trace) Throughput() float64 {
+	if t.Makespan <= 0 {
+		return 0
+	}
+	return float64(len(t.Completions)) / t.Makespan
+}
+
+// MeanBatch returns the average dispatched batch size.
+func (t *Trace) MeanBatch() float64 {
+	if t.Batches == 0 {
+		return 0
+	}
+	return float64(len(t.Completions)) / float64(t.Batches)
+}
+
+// Simulate runs the event-driven queue: arrivals must be sorted ascending.
+// The server processes one batch at a time; whenever it is free it
+// dispatches immediately if MaxBatch requests are waiting, otherwise it
+// waits until either MaxBatch accumulate or the oldest waiter times out.
+func Simulate(arrivals []float64, lat LatencyModel, pol Policy) (*Trace, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			return nil, fmt.Errorf("serving: arrivals not sorted at %d", i)
+		}
+	}
+	tr := &Trace{}
+	next := 0           // next arrival not yet queued
+	var queue []float64 // arrival times of waiting requests
+	now := 0.0          // server-free time
+
+	for next < len(arrivals) || len(queue) > 0 {
+		// Admit everything that has arrived by `now`.
+		for next < len(arrivals) && arrivals[next] <= now {
+			queue = append(queue, arrivals[next])
+			next++
+		}
+		if len(queue) == 0 {
+			// Idle: jump to the next arrival.
+			now = arrivals[next]
+			continue
+		}
+		// Decide dispatch time: full batch → now; otherwise wait until the
+		// oldest waiter hits MaxWait or enough arrivals accumulate.
+		dispatch := now
+		if len(queue) < pol.MaxBatch {
+			deadline := queue[0] + pol.MaxWait
+			if deadline < now {
+				deadline = now
+			}
+			// Admit arrivals landing before the deadline (they may fill
+			// the batch earlier).
+			for next < len(arrivals) && arrivals[next] <= deadline && len(queue) < pol.MaxBatch {
+				if arrivals[next] > dispatch {
+					dispatch = arrivals[next]
+				}
+				queue = append(queue, arrivals[next])
+				next++
+			}
+			if len(queue) < pol.MaxBatch {
+				dispatch = deadline
+			}
+		}
+		// Form the batch.
+		b := len(queue)
+		if b > pol.MaxBatch {
+			b = pol.MaxBatch
+		}
+		dur := lat(b)
+		done := dispatch + dur
+		for _, arr := range queue[:b] {
+			tr.Completions = append(tr.Completions, Completion{
+				Arrival: arr, Start: dispatch, Done: done, Batch: b,
+			})
+		}
+		queue = append([]float64(nil), queue[b:]...)
+		tr.Batches++
+		now = done
+		if done > tr.Makespan {
+			tr.Makespan = done
+		}
+	}
+	return tr, nil
+}
+
+// PoissonArrivals draws n arrival times with the given mean rate (req/s).
+func PoissonArrivals(rng *rand.Rand, rate float64, n int) []float64 {
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / rate
+		out[i] = t
+	}
+	return out
+}
+
+// InterpolatedLatency builds a LatencyModel from sampled (batch, seconds)
+// points by piecewise-linear interpolation, extrapolating linearly beyond
+// the last point. Points must be sorted by batch.
+func InterpolatedLatency(batches []int, secs []float64) (LatencyModel, error) {
+	if len(batches) != len(secs) || len(batches) == 0 {
+		return nil, fmt.Errorf("serving: need matching non-empty samples")
+	}
+	for i := 1; i < len(batches); i++ {
+		if batches[i] <= batches[i-1] {
+			return nil, fmt.Errorf("serving: batch samples not increasing")
+		}
+	}
+	return func(b int) float64 {
+		if b <= batches[0] {
+			// Scale down pessimistically below the first sample: fixed
+			// overheads dominate there, so hold the first latency.
+			return secs[0]
+		}
+		for i := 1; i < len(batches); i++ {
+			if b <= batches[i] {
+				f := float64(b-batches[i-1]) / float64(batches[i]-batches[i-1])
+				return secs[i-1] + f*(secs[i]-secs[i-1])
+			}
+		}
+		// Extrapolate from the last segment's slope.
+		last := len(batches) - 1
+		slope := (secs[last] - secs[last-1]) / float64(batches[last]-batches[last-1])
+		return secs[last] + slope*float64(b-batches[last])
+	}, nil
+}

@@ -1,0 +1,191 @@
+package serving
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// constLat ignores batch size (useful for queueing-behaviour tests).
+func constLat(d float64) LatencyModel {
+	return func(int) float64 { return d }
+}
+
+func TestSingleRequest(t *testing.T) {
+	tr, err := Simulate([]float64{1.0}, constLat(0.5), Policy{MaxBatch: 4, MaxWait: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Completions) != 1 {
+		t.Fatalf("completions %d", len(tr.Completions))
+	}
+	c := tr.Completions[0]
+	// Lone request waits out MaxWait, then runs.
+	if math.Abs(c.Start-1.2) > 1e-9 || math.Abs(c.Done-1.7) > 1e-9 {
+		t.Fatalf("start %g done %g", c.Start, c.Done)
+	}
+}
+
+func TestFullBatchDispatchesImmediately(t *testing.T) {
+	arr := []float64{0, 0, 0, 0}
+	tr, err := Simulate(arr, constLat(1), Policy{MaxBatch: 4, MaxWait: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Batches != 1 {
+		t.Fatalf("batches %d, want 1", tr.Batches)
+	}
+	if tr.Completions[0].Start != 0 {
+		t.Fatalf("full batch should not wait, started %g", tr.Completions[0].Start)
+	}
+}
+
+func TestBatchSplitAtMaxBatch(t *testing.T) {
+	arr := make([]float64, 10) // all at t=0, MaxBatch 4 → 4+4+2
+	tr, err := Simulate(arr, constLat(1), Policy{MaxBatch: 4, MaxWait: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Batches != 3 {
+		t.Fatalf("batches %d, want 3", tr.Batches)
+	}
+	if len(tr.Completions) != 10 {
+		t.Fatalf("completions %d", len(tr.Completions))
+	}
+	// FIFO order: later batches have strictly later starts.
+	if !(tr.Completions[0].Start < tr.Completions[4].Start &&
+		tr.Completions[4].Start < tr.Completions[8].Start) {
+		t.Fatal("batches out of order")
+	}
+}
+
+func TestMaxWaitBoundsQueueing(t *testing.T) {
+	// Requests trickle in slower than MaxBatch fills: each should wait at
+	// most MaxWait + service time of the batch ahead.
+	arr := []float64{0, 1, 2, 3, 4, 5}
+	tr, err := Simulate(arr, constLat(0.1), Policy{MaxBatch: 8, MaxWait: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tr.Completions {
+		if c.Latency() > 0.3+0.1+0.1+1e-9 {
+			t.Fatalf("latency %g exceeds wait+service bound", c.Latency())
+		}
+	}
+}
+
+func TestRejectsUnsortedArrivals(t *testing.T) {
+	if _, err := Simulate([]float64{2, 1}, constLat(1), Policy{MaxBatch: 2}); err == nil {
+		t.Fatal("unsorted arrivals accepted")
+	}
+}
+
+func TestRejectsBadPolicy(t *testing.T) {
+	if _, err := Simulate(nil, constLat(1), Policy{MaxBatch: 0}); err == nil {
+		t.Fatal("zero MaxBatch accepted")
+	}
+	if _, err := Simulate(nil, constLat(1), Policy{MaxBatch: 1, MaxWait: -1}); err == nil {
+		t.Fatal("negative MaxWait accepted")
+	}
+}
+
+func TestThroughputSaturation(t *testing.T) {
+	// Under overload, throughput approaches MaxBatch / latency(MaxBatch).
+	rng := rand.New(rand.NewSource(1))
+	lat, err := InterpolatedLatency([]int{1, 8, 64}, []float64{0.1, 0.2, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := PoissonArrivals(rng, 1000, 4000) // far beyond capacity
+	tr, err := Simulate(arr, lat, Policy{MaxBatch: 64, MaxWait: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := 64 / lat(64)
+	if got := tr.Throughput(); got < cap*0.8 || got > cap*1.05 {
+		t.Fatalf("saturated throughput %g, capacity %g", got, cap)
+	}
+	if tr.MeanBatch() < 48 {
+		t.Fatalf("overloaded server should run near-full batches, got %.1f", tr.MeanBatch())
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	lat, _ := InterpolatedLatency([]int{1, 16}, []float64{0.05, 0.2})
+	pol := Policy{MaxBatch: 16, MaxWait: 0.02}
+	run := func(rate float64) float64 {
+		rng := rand.New(rand.NewSource(2))
+		tr, err := Simulate(PoissonArrivals(rng, rate, 2000), lat, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.MeanLatency()
+	}
+	light := run(20)
+	heavy := run(200)
+	if heavy <= light {
+		t.Fatalf("latency should grow with load: %g vs %g", heavy, light)
+	}
+}
+
+func TestPercentileOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lat, _ := InterpolatedLatency([]int{1, 8}, []float64{0.05, 0.1})
+	tr, err := Simulate(PoissonArrivals(rng, 50, 1000), lat, Policy{MaxBatch: 8, MaxWait: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50, p99 := tr.Percentile(50), tr.Percentile(99)
+	if p50 > p99 {
+		t.Fatalf("p50 %g > p99 %g", p50, p99)
+	}
+	if m := tr.MeanLatency(); m < p50*0.3 || m > p99 {
+		t.Fatalf("mean %g outside [p50·0.3, p99] sanity window (%g, %g)", m, p50, p99)
+	}
+}
+
+func TestPoissonArrivalsMeanRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	arr := PoissonArrivals(rng, 100, 10000)
+	rate := float64(len(arr)) / arr[len(arr)-1]
+	if rate < 90 || rate > 110 {
+		t.Fatalf("empirical rate %g, want ≈100", rate)
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i] < arr[i-1] {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+}
+
+func TestInterpolatedLatency(t *testing.T) {
+	lat, err := InterpolatedLatency([]int{2, 4, 8}, []float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat(1) != 1 || lat(2) != 1 {
+		t.Fatal("below-range should clamp to first sample")
+	}
+	if lat(3) != 1.5 || lat(6) != 3 {
+		t.Fatalf("interpolation wrong: %g %g", lat(3), lat(6))
+	}
+	if lat(12) != 6 {
+		t.Fatalf("extrapolation wrong: %g", lat(12))
+	}
+	if _, err := InterpolatedLatency([]int{4, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("unsorted samples accepted")
+	}
+	if _, err := InterpolatedLatency(nil, nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+}
+
+func TestEmptyArrivals(t *testing.T) {
+	tr, err := Simulate(nil, constLat(1), Policy{MaxBatch: 4, MaxWait: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Completions) != 0 || tr.Throughput() != 0 || tr.MeanLatency() != 0 {
+		t.Fatal("empty run should be empty")
+	}
+}

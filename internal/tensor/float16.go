@@ -1,0 +1,137 @@
+package tensor
+
+import "math"
+
+// Float16 is an IEEE 754 binary16 value stored in a uint16. HBM-PIM
+// computes in FP16 and AiM in BF16; the simulator uses these encodings so
+// table quantization error on those platforms is faithful.
+type Float16 uint16
+
+// ToFloat16 rounds f to the nearest representable binary16 value
+// (round-to-nearest-even), with overflow saturating to ±Inf.
+func ToFloat16(f float32) Float16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp >= 0x1f: // overflow or already Inf/NaN
+		if int32(bits>>23&0xff) == 0xff && mant != 0 {
+			return Float16(sign | 0x7e00) // NaN
+		}
+		return Float16(sign | 0x7c00) // Inf
+	case exp <= 0:
+		if exp < -10 {
+			return Float16(sign) // underflow to zero
+		}
+		// Subnormal: shift in the implicit bit.
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := mant + half
+		// Round to nearest even.
+		if rounded&(half*2-1) == half && mant&(1<<shift) == 0 {
+			rounded = mant
+		}
+		return Float16(sign | uint16(rounded>>shift))
+	default:
+		// Normal: round mantissa from 23 to 10 bits.
+		rounded := mant + 0xfff + (mant>>13)&1
+		if rounded&0x800000 != 0 {
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return Float16(sign | 0x7c00)
+			}
+		}
+		return Float16(sign | uint16(exp)<<10 | uint16(rounded>>13))
+	}
+}
+
+// Float32 decodes the binary16 value.
+func (h Float16) Float32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		return math.Float32frombits(sign | 0xff<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// BFloat16 is a bfloat16 value (truncated float32 with rounding), the
+// datatype of SK-Hynix AiM's MAC units.
+type BFloat16 uint16
+
+// ToBFloat16 rounds f to bfloat16 (round-to-nearest-even).
+func ToBFloat16(f float32) BFloat16 {
+	bits := math.Float32bits(f)
+	if bits&0x7f800000 == 0x7f800000 && bits&0x7fffff != 0 {
+		return BFloat16(bits>>16 | 0x40) // quiet NaN
+	}
+	rounded := bits + 0x7fff + (bits>>16)&1
+	return BFloat16(rounded >> 16)
+}
+
+// Float32 decodes the bfloat16 value.
+func (b BFloat16) Float32() float32 {
+	return math.Float32frombits(uint32(b) << 16)
+}
+
+// H16Tensor is a tensor quantized to FP16 or BF16.
+type H16Tensor struct {
+	Data  []uint16
+	BF    bool // true = bfloat16, false = IEEE binary16
+	shape []int
+}
+
+// QuantizeF16 converts t to IEEE binary16.
+func QuantizeF16(t *Tensor) *H16Tensor {
+	h := &H16Tensor{Data: make([]uint16, len(t.Data)), shape: append([]int(nil), t.shape...)}
+	for i, v := range t.Data {
+		h.Data[i] = uint16(ToFloat16(v))
+	}
+	return h
+}
+
+// QuantizeBF16 converts t to bfloat16.
+func QuantizeBF16(t *Tensor) *H16Tensor {
+	h := &H16Tensor{Data: make([]uint16, len(t.Data)), BF: true, shape: append([]int(nil), t.shape...)}
+	for i, v := range t.Data {
+		h.Data[i] = uint16(ToBFloat16(v))
+	}
+	return h
+}
+
+// Shape returns the dimensions.
+func (h *H16Tensor) Shape() []int { return h.shape }
+
+// Dequantize reconstructs a float32 tensor.
+func (h *H16Tensor) Dequantize() *Tensor {
+	t := New(h.shape...)
+	if h.BF {
+		for i, v := range h.Data {
+			t.Data[i] = BFloat16(v).Float32()
+		}
+	} else {
+		for i, v := range h.Data {
+			t.Data[i] = Float16(v).Float32()
+		}
+	}
+	return t
+}

@@ -1,0 +1,149 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h Float16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{0.5, 0x3800},
+		{2, 0x4000},
+		{65504, 0x7bff}, // max finite
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+		{5.9604645e-08, 0x0001}, // smallest subnormal
+	}
+	for _, c := range cases {
+		if got := ToFloat16(c.f); got != c.h {
+			t.Errorf("ToFloat16(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if got := c.h.Float32(); got != c.f {
+			t.Errorf("(%#04x).Float32() = %g, want %g", c.h, got, c.f)
+		}
+	}
+}
+
+func TestFloat16NaN(t *testing.T) {
+	h := ToFloat16(float32(math.NaN()))
+	if !math.IsNaN(float64(h.Float32())) {
+		t.Fatal("NaN not preserved")
+	}
+}
+
+func TestFloat16RoundTripExactForRepresentable(t *testing.T) {
+	f := func(x uint16) bool {
+		h := Float16(x)
+		v := h.Float32()
+		if math.IsNaN(float64(v)) {
+			return true // NaN payloads need not survive
+		}
+		return ToFloat16(v) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat16RelativeErrorBound(t *testing.T) {
+	// binary16 has 11 significand bits: relative error ≤ 2⁻¹¹ for normals.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := float32(rng.NormFloat64())
+		got := ToFloat16(v).Float32()
+		if v == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		if rel > 1.0/2048 {
+			t.Fatalf("value %g roundtrips to %g (rel err %g)", v, got, rel)
+		}
+	}
+}
+
+func TestFloat16Overflow(t *testing.T) {
+	if ToFloat16(1e30) != 0x7c00 {
+		t.Fatal("overflow should saturate to +Inf")
+	}
+	if ToFloat16(-1e30) != 0xfc00 {
+		t.Fatal("overflow should saturate to -Inf")
+	}
+}
+
+func TestBFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		b BFloat16
+	}{
+		{0, 0x0000},
+		{1, 0x3f80},
+		{-2, 0xc000},
+		{float32(math.Inf(1)), 0x7f80},
+	}
+	for _, c := range cases {
+		if got := ToBFloat16(c.f); got != c.b {
+			t.Errorf("ToBFloat16(%g) = %#04x, want %#04x", c.f, got, c.b)
+		}
+		if got := c.b.Float32(); got != c.f {
+			t.Errorf("(%#04x).Float32() = %g, want %g", c.b, got, c.f)
+		}
+	}
+}
+
+func TestBFloat16RelativeErrorBound(t *testing.T) {
+	// bfloat16 has 8 significand bits: relative error ≤ 2⁻⁸.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		v := float32(rng.NormFloat64() * 100)
+		got := ToBFloat16(v).Float32()
+		if v == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		if rel > 1.0/256 {
+			t.Fatalf("value %g roundtrips to %g (rel err %g)", v, got, rel)
+		}
+	}
+}
+
+func TestBFloat16NaN(t *testing.T) {
+	b := ToBFloat16(float32(math.NaN()))
+	if !math.IsNaN(float64(b.Float32())) {
+		t.Fatal("NaN not preserved")
+	}
+}
+
+func TestH16TensorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandN(rng, 1, 8, 8)
+	for _, bf := range []bool{false, true} {
+		var h *H16Tensor
+		if bf {
+			h = QuantizeBF16(a)
+		} else {
+			h = QuantizeF16(a)
+		}
+		d := h.Dequantize()
+		tol := 1.0 / 256
+		if !bf {
+			tol = 1.0 / 1024
+		}
+		for i := range a.Data {
+			diff := math.Abs(float64(d.Data[i] - a.Data[i]))
+			if diff > tol*(1+math.Abs(float64(a.Data[i]))) {
+				t.Fatalf("bf=%v elem %d: %g vs %g", bf, i, d.Data[i], a.Data[i])
+			}
+		}
+		if h.Shape()[0] != 8 || h.Shape()[1] != 8 {
+			t.Fatal("shape lost")
+		}
+	}
+}

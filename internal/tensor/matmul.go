@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the per-call FLOP count above which MatMul
+// fans out across goroutines. Small multiplies stay single-threaded to
+// avoid scheduling overhead dominating.
+const matmulParallelThreshold = 1 << 18
+
+// MatMul computes C = A·B for A (m×k) and B (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	if b.Dim(0) != k {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	n := b.Dim(1)
+	c := New(m, n)
+	matmulInto(c.Data, a.Data, b.Data, m, k, n)
+	return c
+}
+
+// MatMulT computes C = A·Bᵀ for A (m×k) and B (n×k). This is the layout
+// used throughout PIM-DL: weights are stored (F×H) and activations (N×H),
+// matching the paper's LUT construction convention.
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT requires rank-2 tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	if b.Dim(1) != k {
+		panic("tensor: MatMulT inner dimension mismatch")
+	}
+	n := b.Dim(0)
+	c := New(m, n)
+	parallelRows(m, 2*m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			cr := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				br := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p := range ar {
+					s += ar[p] * br[p]
+				}
+				cr[j] = s
+			}
+		}
+	})
+	return c
+}
+
+// matmulInto computes c += a·b with c pre-zeroed, using an ikj loop order
+// that streams b rows and accumulates into c rows (cache friendly for
+// row-major data).
+func matmulInto(c, a, b []float32, m, k, n int) {
+	parallelRows(m, 2*m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cr := c[i*n : (i+1)*n]
+			ar := a[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := ar[p]
+				if av == 0 {
+					continue
+				}
+				br := b[p*n : (p+1)*n]
+				for j := range cr {
+					cr[j] += av * br[j]
+				}
+			}
+		}
+	})
+}
+
+// parallelRows splits [0, m) into per-worker chunks and runs f on each.
+// work is the approximate FLOP count used to decide whether parallelism is
+// worthwhile.
+func parallelRows(m int, work int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < matmulParallelThreshold || workers <= 1 || m < 2 {
+		f(0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Transpose returns Aᵀ for a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires rank-2 tensor")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			t.Data[j*m+i] = v
+		}
+	}
+	return t
+}
+
+// AddBias adds a length-n bias vector to every row of an m×n matrix, in
+// place, and returns the matrix.
+func AddBias(a *Tensor, bias *Tensor) *Tensor {
+	if a.Rank() != 2 || bias.Rank() != 1 {
+		panic("tensor: AddBias wants matrix and vector")
+	}
+	n := a.Dim(1)
+	if bias.Dim(0) != n {
+		panic("tensor: AddBias length mismatch")
+	}
+	m := a.Dim(0)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += bias.Data[j]
+		}
+	}
+	return a
+}

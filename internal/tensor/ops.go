@@ -1,0 +1,244 @@
+package tensor
+
+import "math"
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	checkSame("Add", a, b)
+	c := a.Clone()
+	for i, v := range b.Data {
+		c.Data[i] += v
+	}
+	return c
+}
+
+// Sub returns a − b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	checkSame("Sub", a, b)
+	c := a.Clone()
+	for i, v := range b.Data {
+		c.Data[i] -= v
+	}
+	return c
+}
+
+// Mul returns a ⊙ b elementwise.
+func Mul(a, b *Tensor) *Tensor {
+	checkSame("Mul", a, b)
+	c := a.Clone()
+	for i, v := range b.Data {
+		c.Data[i] *= v
+	}
+	return c
+}
+
+// Scale returns s·a.
+func Scale(a *Tensor, s float32) *Tensor {
+	c := a.Clone()
+	for i := range c.Data {
+		c.Data[i] *= s
+	}
+	return c
+}
+
+// AddInPlace computes a += b and returns a.
+func AddInPlace(a, b *Tensor) *Tensor {
+	checkSame("AddInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+	return a
+}
+
+// AXPY computes a += s·b and returns a.
+func AXPY(a *Tensor, s float32, b *Tensor) *Tensor {
+	checkSame("AXPY", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += s * v
+	}
+	return a
+}
+
+func checkSame(op string, a, b *Tensor) {
+	if !sameShape(a.shape, b.shape) {
+		panic("tensor: " + op + " shape mismatch")
+	}
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of a rank-2
+// tensor, returning a new tensor.
+func SoftmaxRows(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: SoftmaxRows requires rank-2 tensor")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		src := a.Data[i*n : (i+1)*n]
+		dst := out.Data[i*n : (i+1)*n]
+		maxv := src[0]
+		for _, v := range src[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float32
+		for j, v := range src {
+			e := float32(math.Exp(float64(v - maxv)))
+			dst[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// LayerNormRows normalizes each row to zero mean and unit variance, then
+// applies the elementwise affine transform gamma, beta (length = row width).
+func LayerNormRows(a, gamma, beta *Tensor, eps float32) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: LayerNormRows requires rank-2 tensor")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		src := a.Data[i*n : (i+1)*n]
+		dst := out.Data[i*n : (i+1)*n]
+		var mean float32
+		for _, v := range src {
+			mean += v
+		}
+		mean /= float32(n)
+		var varSum float32
+		for _, v := range src {
+			d := v - mean
+			varSum += d * d
+		}
+		inv := 1 / float32(math.Sqrt(float64(varSum/float32(n)+eps)))
+		for j, v := range src {
+			dst[j] = (v-mean)*inv*gamma.Data[j] + beta.Data[j]
+		}
+	}
+	return out
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit.
+func GELU(a *Tensor) *Tensor {
+	c := a.Clone()
+	for i, v := range c.Data {
+		c.Data[i] = geluScalar(v)
+	}
+	return c
+}
+
+func geluScalar(x float32) float32 {
+	const c0 = 0.7978845608028654 // sqrt(2/pi)
+	xf := float64(x)
+	return float32(0.5 * xf * (1 + math.Tanh(c0*(xf+0.044715*xf*xf*xf))))
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	c := a.Clone()
+	for i, v := range c.Data {
+		if v < 0 {
+			c.Data[i] = 0
+		}
+	}
+	return c
+}
+
+// ArgMaxRows returns, for each row of a rank-2 tensor, the column index of
+// its largest element.
+func ArgMaxRows(a *Tensor) []int {
+	m, n := a.Dim(0), a.Dim(1)
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// SumSquares returns Σ x².
+func SumSquares(a *Tensor) float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func Mean(a *Tensor) float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += float64(v)
+	}
+	return s / float64(len(a.Data))
+}
+
+// Frobenius returns the Frobenius norm ‖a‖₂.
+func Frobenius(a *Tensor) float64 {
+	return math.Sqrt(SumSquares(a))
+}
+
+// RelativeError returns ‖a−b‖₂ / ‖b‖₂, a scale-free approximation error.
+func RelativeError(a, b *Tensor) float64 {
+	checkSame("RelativeError", a, b)
+	var num, den float64
+	for i := range a.Data {
+		d := float64(a.Data[i] - b.Data[i])
+		num += d * d
+		den += float64(b.Data[i]) * float64(b.Data[i])
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}
+
+// ConcatRows stacks rank-2 tensors with identical column counts vertically.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatRows of nothing")
+	}
+	cols := ts[0].Dim(1)
+	rows := 0
+	for _, t := range ts {
+		if t.Rank() != 2 || t.Dim(1) != cols {
+			panic("tensor: ConcatRows column mismatch")
+		}
+		rows += t.Dim(0)
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += len(t.Data)
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [lo, hi) of a rank-2 tensor.
+func SliceRows(a *Tensor, lo, hi int) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: SliceRows requires rank-2 tensor")
+	}
+	n := a.Dim(1)
+	out := New(hi-lo, n)
+	copy(out.Data, a.Data[lo*n:hi*n])
+	return out
+}

@@ -1,0 +1,396 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	a := New(3, 4, 5)
+	if a.Size() != 60 {
+		t.Fatalf("size = %d, want 60", a.Size())
+	}
+	if a.Rank() != 3 || a.Dim(0) != 3 || a.Dim(1) != 4 || a.Dim(2) != 5 {
+		t.Fatalf("bad shape %v", a.Shape())
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	a := New(2, 3)
+	a.Set(7, 1, 2)
+	if got := a.At(1, 2); got != 7 {
+		t.Fatalf("At = %v, want 7", got)
+	}
+	if got := a.Data[1*3+2]; got != 7 {
+		t.Fatalf("row-major offset wrong: %v", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched length")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Data[0] = 42
+	if a.Data[0] != 42 {
+		t.Fatal("Reshape must alias data")
+	}
+	if b.Dim(0) != 3 || b.Dim(1) != 2 {
+		t.Fatalf("bad reshape %v", b.Shape())
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulTMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandN(rng, 1, 17, 23)
+	b := RandN(rng, 1, 9, 23) // (n×k)
+	got := MatMulT(a, b)
+	want := MatMul(a, Transpose(b))
+	if !AllClose(got, want, 1e-4) {
+		t.Fatalf("MatMulT disagrees with MatMul∘Transpose, max diff %g", MaxAbsDiff(got, want))
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	// Big enough to trigger the parallel path.
+	rng := rand.New(rand.NewSource(2))
+	a := RandN(rng, 1, 128, 96)
+	b := RandN(rng, 1, 96, 80)
+	c := MatMul(a, b)
+	// Serial reference.
+	ref := New(128, 80)
+	for i := 0; i < 128; i++ {
+		for j := 0; j < 80; j++ {
+			var s float32
+			for p := 0; p < 96; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			ref.Set(s, i, j)
+		}
+	}
+	if !AllClose(c, ref, 1e-3) {
+		t.Fatalf("parallel matmul differs from serial, max diff %g", MaxAbsDiff(c, ref))
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		a := RandN(rng, 1, m, n)
+		return Equal(Transpose(Transpose(a)), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandN(rng, 1, 4, 4)
+		b := RandN(rng, 1, 4, 4)
+		return AllClose(Sub(Add(a, b), b), a, 1e-5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandN(rng, 5, 6, 10)
+	s := SoftmaxRows(a)
+	for i := 0; i < 6; i++ {
+		var sum float32
+		for _, v := range s.Row(i) {
+			if v < 0 {
+				t.Fatal("softmax produced negative value")
+			}
+			sum += v
+		}
+		if math.Abs(float64(sum)-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxRowsStableForLargeInputs(t *testing.T) {
+	a := FromSlice([]float32{1000, 1001, 1002}, 1, 3)
+	s := SoftmaxRows(a)
+	for _, v := range s.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("softmax overflowed")
+		}
+	}
+}
+
+func TestLayerNormRowsNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandN(rng, 3, 4, 16)
+	gamma := New(16)
+	gamma.Fill(1)
+	beta := New(16)
+	out := LayerNormRows(a, gamma, beta, 1e-5)
+	for i := 0; i < 4; i++ {
+		row := out.Row(i)
+		var mean, varSum float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= 16
+		for _, v := range row {
+			varSum += (v - mean) * (v - mean)
+		}
+		varSum /= 16
+		if math.Abs(float64(mean)) > 1e-4 {
+			t.Fatalf("row %d mean %v", i, mean)
+		}
+		if math.Abs(float64(varSum)-1) > 1e-2 {
+			t.Fatalf("row %d var %v", i, varSum)
+		}
+	}
+}
+
+func TestGELUKnownValues(t *testing.T) {
+	a := FromSlice([]float32{0, 1, -1, 3}, 4)
+	g := GELU(a)
+	if g.Data[0] != 0 {
+		t.Fatalf("gelu(0) = %v", g.Data[0])
+	}
+	if math.Abs(float64(g.Data[1])-0.8412) > 1e-3 {
+		t.Fatalf("gelu(1) = %v", g.Data[1])
+	}
+	// gelu(x) + gelu(−x) = x·(2Φ(x)−1) ≈ 0.6827 at x = 1.
+	if math.Abs(float64(g.Data[1]+g.Data[2])-0.6827) > 2e-3 {
+		t.Fatalf("gelu(1)+gelu(-1) = %v, want ≈0.6827", g.Data[1]+g.Data[2])
+	}
+	if g.Data[3] < 2.9 {
+		t.Fatalf("gelu(3) = %v, should approach 3", g.Data[3])
+	}
+}
+
+func TestReLU(t *testing.T) {
+	a := FromSlice([]float32{-2, 0, 3}, 3)
+	r := ReLU(a)
+	if r.Data[0] != 0 || r.Data[1] != 0 || r.Data[2] != 3 {
+		t.Fatalf("relu = %v", r.Data)
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	a := FromSlice([]float32{1, 5, 2, 9, 0, 3}, 2, 3)
+	idx := ArgMaxRows(a)
+	if idx[0] != 1 || idx[1] != 0 {
+		t.Fatalf("argmax = %v", idx)
+	}
+}
+
+func TestAddBias(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{10, 20}, 2)
+	AddBias(a, b)
+	want := []float32{11, 22, 13, 24}
+	for i, w := range want {
+		if a.Data[i] != w {
+			t.Fatalf("a[%d] = %v, want %v", i, a.Data[i], w)
+		}
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	a := FromSlice([]float32{1, 1}, 2)
+	b := FromSlice([]float32{1, 1}, 2)
+	if RelativeError(a, b) != 0 {
+		t.Fatal("identical tensors should have zero error")
+	}
+	c := FromSlice([]float32{2, 2}, 2)
+	if got := RelativeError(c, a); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("error = %v, want 1", got)
+	}
+}
+
+func TestConcatAndSliceRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := RandN(rng, 1, 3, 4)
+	b := RandN(rng, 1, 2, 4)
+	c := ConcatRows(a, b)
+	if c.Dim(0) != 5 {
+		t.Fatalf("concat rows = %d", c.Dim(0))
+	}
+	if !Equal(SliceRows(c, 0, 3), a) || !Equal(SliceRows(c, 3, 5), b) {
+		t.Fatal("slice does not invert concat")
+	}
+}
+
+func TestQuantizeINT8RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := RandN(rng, 1, 16, 16)
+	q := QuantizeINT8(a)
+	d := q.Dequantize()
+	// Max quantization error is scale/2 per element.
+	if MaxAbsDiff(a, d) > float64(q.Scale)*0.51 {
+		t.Fatalf("quant error %g exceeds half-step %g", MaxAbsDiff(a, d), q.Scale/2)
+	}
+}
+
+func TestQuantizeINT8ZeroTensor(t *testing.T) {
+	a := New(4, 4)
+	q := QuantizeINT8(a)
+	d := q.Dequantize()
+	if !Equal(a, d) {
+		t.Fatal("zero tensor should quantize exactly")
+	}
+}
+
+func TestQuantizeINT8ClampsExtremes(t *testing.T) {
+	a := FromSlice([]float32{127, -127, 1}, 3)
+	q := QuantizeINT8(a)
+	if q.Data[0] != 127 || q.Data[1] != -127 {
+		t.Fatalf("extremes: %v", q.Data)
+	}
+}
+
+func TestQuantErrorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandN(rng, 1, 8, 8)
+		e := QuantError(a)
+		// INT8 symmetric quantization of Gaussian data keeps relative error small.
+		return e >= 0 && e < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXavierInitBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := XavierInit(rng, 64, 64, 64, 64)
+	limit := float32(math.Sqrt(6.0 / 128))
+	for _, v := range w.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("value %v outside Xavier bound %v", v, limit)
+		}
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{10, 10}, 2)
+	AXPY(a, 0.5, b)
+	if a.Data[0] != 6 || a.Data[1] != 7 {
+		t.Fatalf("axpy = %v", a.Data)
+	}
+}
+
+func TestMeanFrobenius(t *testing.T) {
+	a := FromSlice([]float32{3, 4}, 2)
+	if Mean(a) != 3.5 {
+		t.Fatalf("mean = %v", Mean(a))
+	}
+	if math.Abs(Frobenius(a)-5) > 1e-9 {
+		t.Fatalf("frobenius = %v", Frobenius(a))
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := RandN(rng, 1, n, n)
+		eye := New(n, n)
+		for i := 0; i < n; i++ {
+			eye.Set(1, i, i)
+		}
+		return AllClose(MatMul(a, eye), a, 1e-5) && AllClose(MatMul(eye, a), a, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandN(rng, 1, 4, 5)
+		b := RandN(rng, 1, 5, 3)
+		c := RandN(rng, 1, 5, 3)
+		left := MatMul(a, Add(b, c))
+		right := Add(MatMul(a, b), MatMul(a, c))
+		return AllClose(left, right, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeMatMulRelation(t *testing.T) {
+	// (A·B)ᵀ = Bᵀ·Aᵀ
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandN(rng, 1, 3, 4)
+		b := RandN(rng, 1, 4, 5)
+		left := Transpose(MatMul(a, b))
+		right := MatMul(Transpose(b), Transpose(a))
+		return AllClose(left, right, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandN(rng, 1, 3, 5)
+		shifted := a.Clone()
+		for i := range shifted.Data {
+			shifted.Data[i] += 7.5
+		}
+		return AllClose(SoftmaxRows(a), SoftmaxRows(shifted), 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

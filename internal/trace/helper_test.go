@@ -1,0 +1,6 @@
+package trace
+
+import "repro/internal/baseline"
+
+// hostDevice returns a baseline device for tests.
+func hostDevice() *baseline.Device { return baseline.CPUServer() }

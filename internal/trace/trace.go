@@ -1,0 +1,82 @@
+// Package trace exports engine reports as Chrome trace-event JSON
+// (chrome://tracing / Perfetto), giving the operator schedule a real
+// timeline view: one track for the host, one for the PIM array, with
+// every CCS/LUT/attention/elementwise operator as a complete event.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+)
+
+// event is one Chrome trace "complete" event (ph = "X").
+type event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// metadata names a track.
+type metadata struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+const (
+	hostTID = 1
+	pimTID  = 2
+)
+
+// Export writes the report's schedule as trace-event JSON. Operators are
+// laid out serially in report order (the engine's execution model);
+// host ops land on the host track and PIM ops on the PIM track.
+func Export(w io.Writer, rep *engine.Report) error {
+	var events []any
+	events = append(events,
+		metadata{Name: "thread_name", Ph: "M", PID: 1, TID: hostTID,
+			Args: map[string]any{"name": "Host"}},
+		metadata{Name: "thread_name", Ph: "M", PID: 1, TID: pimTID,
+			Args: map[string]any{"name": "PIM array"}},
+	)
+	cursor := 0.0
+	for _, op := range rep.Ops {
+		tid := hostTID
+		if op.OnPIM {
+			tid = pimTID
+		}
+		events = append(events, event{
+			Name: op.Name,
+			Cat:  op.Class.String(),
+			Ph:   "X",
+			TS:   cursor * 1e6,
+			Dur:  op.Time * 1e6,
+			PID:  1,
+			TID:  tid,
+			Args: map[string]string{
+				"layer": fmt.Sprint(op.Layer),
+				"class": op.Class.String(),
+			},
+		})
+		cursor += op.Time
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]string{
+			"config": rep.Config,
+			"batch":  fmt.Sprint(rep.Batch),
+		},
+	})
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/nn"
+)
+
+func TestExportValidJSON(t *testing.T) {
+	rep := &engine.Report{
+		Config: "test",
+		Batch:  4,
+		Ops: []engine.OpCost{
+			{Name: "CCS-QKV", Class: engine.ClassCCS, Layer: 0, Role: nn.RoleQKV, Time: 0.001},
+			{Name: "LUT-QKV", Class: engine.ClassLUT, Layer: 0, Role: nn.RoleQKV, Time: 0.004, OnPIM: true},
+			{Name: "Attention", Class: engine.ClassOther, Layer: 0, Time: 0.002},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Export(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 metadata + 3 ops.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("events %d, want 5", len(doc.TraceEvents))
+	}
+	// Events must be serial and non-overlapping: ts[i+1] = ts[i] + dur[i].
+	var lastEnd float64
+	seen := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "X" {
+			continue
+		}
+		ts := ev["ts"].(float64)
+		dur := ev["dur"].(float64)
+		if ts < lastEnd-1e-9 {
+			t.Fatalf("event %v overlaps previous end %g", ev["name"], lastEnd)
+		}
+		lastEnd = ts + dur
+		seen++
+		// PIM ops on the PIM track.
+		if ev["name"] == "LUT-QKV" && ev["tid"].(float64) != 2 {
+			t.Fatal("LUT op on wrong track")
+		}
+		if ev["name"] == "CCS-QKV" && ev["tid"].(float64) != 1 {
+			t.Fatal("CCS op on wrong track")
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("op events %d", seen)
+	}
+}
+
+func TestExportRealReport(t *testing.T) {
+	e := engine.New()
+	cfg := engine.Config{}
+	_ = cfg
+	// Use a host-only estimate (fast, no tuning).
+	hostCfg := engine.Config{Model: nn.BERTBase, Batch: 2}
+	hostCfg.Model.Layers = 1
+	hostCfg.Host = hostDevice()
+	rep := e.EstimateHost(hostCfg)
+	var buf bytes.Buffer
+	if err := Export(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON")
+	}
+}

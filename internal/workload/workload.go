@@ -1,0 +1,177 @@
+// Package workload provides the evaluation workloads of paper §6: the
+// model shapes used by the performance experiments and the synthetic
+// classification tasks that stand in for GLUE/CIFAR in the accuracy
+// experiments (Tables 4–5).
+//
+// Substitution note (see DESIGN.md): we have no GLUE/CIFAR data or
+// pretrained checkpoints, so the accuracy experiments train small
+// transformers from scratch on planted-structure tasks. What the paper's
+// accuracy tables establish is an *ordering* — original ≈ eLUT-NN ≫
+// baseline LUT-NN under full-layer replacement — and that ordering is a
+// property of the conversion algorithms, which these tasks exercise
+// end-to-end through the same code paths.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// PerfModels lists the three model shapes of the throughput experiments
+// (§6.3): BERT-base/large at seq 512 batch 64, ViT-huge at padded seq 264
+// batch 128.
+func PerfModels() []PerfCase {
+	return []PerfCase{
+		{Model: nn.BERTBase, Batch: 64},
+		{Model: nn.BERTLarge, Batch: 64},
+		{Model: nn.ViTHuge, Batch: 128},
+	}
+}
+
+// PerfCase pairs a model shape with its evaluation batch size.
+type PerfCase struct {
+	Model nn.Config
+	Batch int
+}
+
+// TaskKind distinguishes the two synthetic task families.
+type TaskKind int
+
+const (
+	// MarkerTask is a sequence task: the label is the class marker token
+	// planted somewhere in the sequence (an NLP-classification stand-in).
+	MarkerTask TaskKind = iota
+	// TemplateTask is a patch task: patches are a class template plus
+	// noise (a vision-classification stand-in).
+	TemplateTask
+)
+
+// Task generates train/test batches for a model config.
+type Task struct {
+	Kind   TaskKind
+	Config nn.Config
+	// Noise is the TemplateTask per-element noise std; Scale multiplies
+	// the class template. A low Scale/Noise ratio forces the model to
+	// integrate evidence across patches, which is what makes the task
+	// sensitive to activation quantization (like real vision models).
+	Noise   float64
+	Scale   float64
+	seed    int64
+	teplate *tensor.Tensor
+}
+
+// NewTask creates a task whose class structure is fixed by seed, so
+// independently generated batches share the same underlying concept.
+func NewTask(kind TaskKind, cfg nn.Config, seed int64) *Task {
+	t := &Task{Kind: kind, Config: cfg, Noise: 0.3, Scale: 1, seed: seed}
+	if kind == TemplateTask {
+		t.teplate = tensor.RandN(rand.New(rand.NewSource(seed)), 1, cfg.Classes, cfg.PatchDim)
+	}
+	return t
+}
+
+// Batches generates n batches of batchN sequences each. Different
+// (seedOffset) values give disjoint streams (e.g. train vs test).
+func (t *Task) Batches(n, batchN int, seedOffset int64) []*nn.Batch {
+	rng := rand.New(rand.NewSource(t.seed*1_000_003 + seedOffset))
+	out := make([]*nn.Batch, n)
+	for i := range out {
+		if t.Kind == MarkerTask {
+			out[i] = t.markerBatch(rng, batchN)
+		} else {
+			out[i] = t.templateBatch(rng, batchN)
+		}
+	}
+	return out
+}
+
+func (t *Task) markerBatch(rng *rand.Rand, batchN int) *nn.Batch {
+	c := t.Config
+	b := &nn.Batch{BatchN: batchN}
+	for s := 0; s < batchN; s++ {
+		label := rng.Intn(c.Classes)
+		ids := make([]int, c.SeqLen)
+		for j := range ids {
+			ids[j] = 2 + c.Classes + rng.Intn(c.Vocab-2-c.Classes)
+		}
+		ids[rng.Intn(c.SeqLen)] = 2 + label
+		b.TokenIDs = append(b.TokenIDs, ids...)
+		b.Labels = append(b.Labels, label)
+	}
+	return b
+}
+
+func (t *Task) templateBatch(rng *rand.Rand, batchN int) *nn.Batch {
+	c := t.Config
+	b := &nn.Batch{BatchN: batchN}
+	patches := tensor.New(batchN*c.SeqLen, c.PatchDim)
+	for s := 0; s < batchN; s++ {
+		label := rng.Intn(c.Classes)
+		tmpl := t.teplate.Row(label)
+		for p := 0; p < c.SeqLen; p++ {
+			row := patches.Row(s*c.SeqLen + p)
+			for j := range row {
+				row[j] = tmpl[j]*float32(t.Scale) + float32(rng.NormFloat64()*t.Noise)
+			}
+		}
+		b.Labels = append(b.Labels, label)
+	}
+	b.Patches = patches
+	return b
+}
+
+// AccuracyModel returns the reduced-size model configs used by the
+// Table 4/5 reproductions: full transformer architecture, deep enough for
+// approximation error to compound across replaced layers (the failure mode
+// that collapses baseline LUT-NN), but small enough to train from scratch
+// in seconds.
+func AccuracyModel(kind nn.InputKind, name string) nn.Config {
+	c := nn.Config{
+		Name: name, Kind: kind,
+		Hidden: 32, Layers: 4, Heads: 4, FFN: 64,
+		SeqLen: 16, Classes: 4,
+	}
+	if kind == nn.TokenInput {
+		c.Vocab = 64
+	} else {
+		// Vision stand-in: higher class count and heavy template noise so
+		// the task is not linearly separable from a single patch.
+		c.PatchDim = 24
+		c.SeqLen = 8
+		c.Classes = 8
+	}
+	return c
+}
+
+// OPTHiddenDims are the hidden sizes swept in Fig. 12-d / 14 / 15, taken
+// from the OPT model family as the paper does.
+var OPTHiddenDims = []int{1024, 2048, 2560, 4096, 5120}
+
+// HiddenDimModel builds a transformer config with the given hidden size
+// (layers/heads follow the OPT family's shapes; FFN = 4·hidden).
+func HiddenDimModel(hidden, seqLen int) nn.Config {
+	return nn.Config{
+		Name: "OPT-like", Kind: nn.TokenInput, Vocab: 50272,
+		Hidden: hidden, Layers: 24, Heads: 16, FFN: 4 * hidden,
+		SeqLen: seqLen, Classes: 2,
+	}
+}
+
+
+// MixtureActivations draws rows from a shared set of prototype rows plus
+// Gaussian noise — the "block-wise semantic similarity" structure (paper
+// §3) that makes LUT-NN's centroid approximation work. Use it wherever a
+// synthetic stand-in for real DNN activations is needed.
+func MixtureActivations(rng *rand.Rand, protos *tensor.Tensor, rows int, noise float64) *tensor.Tensor {
+	out := tensor.New(rows, protos.Dim(1))
+	for i := 0; i < rows; i++ {
+		p := protos.Row(rng.Intn(protos.Dim(0)))
+		row := out.Row(i)
+		for j := range row {
+			row[j] = p[j] + float32(rng.NormFloat64()*noise)
+		}
+	}
+	return out
+}

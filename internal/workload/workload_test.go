@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestMarkerBatchesShape(t *testing.T) {
+	cfg := AccuracyModel(nn.TokenInput, "t")
+	task := NewTask(MarkerTask, cfg, 1)
+	bs := task.Batches(3, 8, 0)
+	if len(bs) != 3 {
+		t.Fatalf("batches %d", len(bs))
+	}
+	for _, b := range bs {
+		if len(b.TokenIDs) != 8*cfg.SeqLen || len(b.Labels) != 8 {
+			t.Fatalf("bad batch shape")
+		}
+		for _, id := range b.TokenIDs {
+			if id < 0 || id >= cfg.Vocab {
+				t.Fatalf("token id %d out of vocab", id)
+			}
+		}
+		for _, l := range b.Labels {
+			if l < 0 || l >= cfg.Classes {
+				t.Fatalf("label %d out of range", l)
+			}
+		}
+	}
+}
+
+func TestMarkerPlantedConsistently(t *testing.T) {
+	cfg := AccuracyModel(nn.TokenInput, "t")
+	task := NewTask(MarkerTask, cfg, 2)
+	for _, b := range task.Batches(4, 8, 0) {
+		for s := 0; s < b.BatchN; s++ {
+			marker := 2 + b.Labels[s]
+			found := false
+			for _, id := range b.TokenIDs[s*cfg.SeqLen : (s+1)*cfg.SeqLen] {
+				if id == marker {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("class marker missing from sequence")
+			}
+		}
+	}
+}
+
+func TestTemplateTaskSharedAcrossStreams(t *testing.T) {
+	cfg := AccuracyModel(nn.PatchInput, "v")
+	a := NewTask(TemplateTask, cfg, 3)
+	b := NewTask(TemplateTask, cfg, 3)
+	for i := range a.teplate.Data {
+		if a.teplate.Data[i] != b.teplate.Data[i] {
+			t.Fatal("templates differ for same seed")
+		}
+	}
+	c := NewTask(TemplateTask, cfg, 4)
+	same := true
+	for i := range a.teplate.Data {
+		if a.teplate.Data[i] != c.teplate.Data[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds must give different templates")
+	}
+}
+
+func TestDisjointStreamsDiffer(t *testing.T) {
+	cfg := AccuracyModel(nn.TokenInput, "t")
+	task := NewTask(MarkerTask, cfg, 5)
+	tr := task.Batches(1, 8, 0)[0]
+	te := task.Batches(1, 8, 1)[0]
+	same := true
+	for i := range tr.TokenIDs {
+		if tr.TokenIDs[i] != te.TokenIDs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("train/test streams identical")
+	}
+}
+
+func TestPerfModelsMatchPaper(t *testing.T) {
+	pm := PerfModels()
+	if len(pm) != 3 {
+		t.Fatalf("want 3 perf models")
+	}
+	if pm[0].Model.Hidden != 768 || pm[1].Model.Hidden != 1024 || pm[2].Model.Hidden != 1280 {
+		t.Fatal("hidden dims must be 768/1024/1280 (paper §6.1)")
+	}
+	if pm[0].Batch != 64 || pm[2].Batch != 128 {
+		t.Fatal("batch sizes must be 64/64/128")
+	}
+	if pm[2].Model.SeqLen != 264 {
+		t.Fatal("ViT-huge seq must be padded to 264")
+	}
+}
+
+func TestHiddenDimModelValid(t *testing.T) {
+	for _, h := range OPTHiddenDims {
+		if err := HiddenDimModel(h, 128).Validate(); err != nil {
+			t.Fatalf("hidden %d: %v", h, err)
+		}
+	}
+}
+
+func TestAccuracyModelsValid(t *testing.T) {
+	if err := AccuracyModel(nn.TokenInput, "a").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := AccuracyModel(nn.PatchInput, "b").Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixtureActivationsStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	protos := tensor.RandN(rng, 1, 4, 8)
+	acts := MixtureActivations(rng, protos, 200, 0.05)
+	if acts.Dim(0) != 200 || acts.Dim(1) != 8 {
+		t.Fatalf("shape %v", acts.Shape())
+	}
+	// Every row must be near one of the prototypes.
+	for i := 0; i < 200; i++ {
+		row := acts.Row(i)
+		bestD := math.Inf(1)
+		for p := 0; p < 4; p++ {
+			var d float64
+			pr := protos.Row(p)
+			for j := range row {
+				diff := float64(row[j] - pr[j])
+				d += diff * diff
+			}
+			if d < bestD {
+				bestD = d
+			}
+		}
+		if bestD > 8*0.05*0.05*16 {
+			t.Fatalf("row %d too far from every prototype: %g", i, bestD)
+		}
+	}
+}
