@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt experiments examples clean
+.PHONY: all build test test-short test-race bench vet fmt lint experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project-specific static analyzers (cmd/pimdl-lint). It
+# exits nonzero on any finding; see DESIGN.md for the analyzer list and
+# the //pimdl:lint-ignore suppression syntax.
+lint:
+	$(GO) run ./cmd/pimdl-lint ./...
 
 fmt:
 	gofmt -l -w .
@@ -20,6 +26,12 @@ test:
 
 test-short:
 	$(GO) test ./... -short -timeout 600s
+
+# test-race runs the short test suite under the race detector; the
+# concurrency stress tests in tensor, lutnn, autotuner and pim exercise
+# the simulator's goroutine fan-outs.
+test-race:
+	$(GO) test -race -short ./... -timeout 1200s
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX .

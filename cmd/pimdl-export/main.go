@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -51,7 +52,16 @@ func main() {
 	}
 }
 
-func exportLayer(path string) error {
+// closeKeepErr closes c and folds the close error into *errp unless an
+// earlier error is already recorded — a silently dropped Close on a write
+// path can hide a short write.
+func closeKeepErr(c io.Closer, errp *error) {
+	if cerr := c.Close(); *errp == nil {
+		*errp = cerr
+	}
+}
+
+func exportLayer(path string) (retErr error) {
 	rng := rand.New(rand.NewSource(1))
 	const rows, h, f = 256, 128, 256
 	acts := tensor.RandN(rng, 1, rows, h)
@@ -67,7 +77,7 @@ func exportLayer(path string) error {
 	if err != nil {
 		return err
 	}
-	defer fh.Close()
+	defer closeKeepErr(fh, &retErr)
 	enc := serial.NewEncoder(fh)
 	if err := enc.Layer(layer); err != nil {
 		return err
@@ -84,16 +94,14 @@ func exportLayer(path string) error {
 	if err := enc.Flush(); err != nil {
 		return err
 	}
-	if err := fh.Close(); err != nil {
-		return err
-	}
 
-	// Verify by reloading.
+	// Verify by reloading (the encoder flushed, so the bytes are visible
+	// through a second handle even though fh closes on return).
 	rf, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer rf.Close()
+	defer closeKeepErr(rf, &retErr)
 	dec := serial.NewDecoder(rf)
 	loaded, err := dec.Layer()
 	if err != nil {
@@ -112,7 +120,7 @@ func exportLayer(path string) error {
 	return nil
 }
 
-func exportTrace(path string, layers int) error {
+func exportTrace(path string, layers int) (retErr error) {
 	model := nn.BERTBase
 	model.Layers = layers
 	e := engine.New()
@@ -130,7 +138,7 @@ func exportTrace(path string, layers int) error {
 	if err != nil {
 		return err
 	}
-	defer fh.Close()
+	defer closeKeepErr(fh, &retErr)
 	if err := trace.Export(fh, rep); err != nil {
 		return err
 	}

@@ -50,7 +50,9 @@ func main() {
 			os.Exit(1)
 		}
 		plat, err = pim.LoadPlatform(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	} else {
 		plat, err = platformByName(*platName)
 	}

@@ -1,0 +1,191 @@
+// Package analysis implements pimdl-lint, a project-specific static
+// analyzer for the PIM-DL codebase. It is built purely on the standard
+// library's go/ast, go/parser and go/types packages (the module stays
+// zero-dependency) and enforces the invariants the simulator's
+// correctness claims rest on: race-free goroutine fan-outs, no silently
+// dropped errors, no exact float comparisons in model code, no panics in
+// library packages that loaders can reach, and shape validation at every
+// dimension-taking entry point.
+//
+// Findings can be suppressed at the reporting site with a directive
+// comment, either on the same line or the line immediately above:
+//
+//	//pimdl:lint-ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one report from one analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Analyzer is a single named check run over one type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	PkgPath  string
+	Pkg      *types.Package
+	Info     *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The repo loader excludes test files up front, but analyzers running on
+// ad-hoc file sets (fixtures, future editor integration) still need the
+// check.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// All returns every analyzer in the order they run.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LoopRangeCapture,
+		UncheckedError,
+		FloatCompare,
+		PanicInLibrary,
+		ShapeGuard,
+	}
+}
+
+// ignoreDirective is one parsed //pimdl:lint-ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+const ignorePrefix = "pimdl:lint-ignore"
+
+// collectDirectives extracts suppression directives from the comments of
+// the given files, keyed by "filename:line". Malformed directives
+// (missing analyzer or reason) are returned as findings so they cannot
+// silently suppress nothing.
+func collectDirectives(fset *token.FileSet, files []*ast.File) (map[string]*ignoreDirective, []Finding) {
+	dirs := map[string]*ignoreDirective{}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lint-ignore",
+						Pos:      pos,
+						Message:  "malformed suppression: want //pimdl:lint-ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				d := &ignoreDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      pos,
+				}
+				dirs[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = d
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// applySuppressions filters findings covered by a directive on the same
+// line or the line above, marking the directives used.
+func applySuppressions(findings []Finding, dirs map[string]*ignoreDirective) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+			d, ok := dirs[fmt.Sprintf("%s:%d", f.Pos.Filename, line)]
+			if ok && (d.analyzer == f.Analyzer || d.analyzer == "all") {
+				d.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunPackage runs the given analyzers over one type-checked package and
+// returns the surviving (non-suppressed) findings, sorted by position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkgPath string, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			PkgPath:  pkgPath,
+			Pkg:      pkg,
+			Info:     info,
+			findings: &findings,
+		}
+		a.Run(pass)
+	}
+	dirs, bad := collectDirectives(fset, files)
+	findings = applySuppressions(findings, dirs)
+	findings = append(findings, bad...)
+	sortFindings(findings)
+	return findings
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
+	})
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Fixtures under testdata/src are loaded once (type-checking pulls in the
+// standard library through the source importer, which dominates the cost)
+// and shared across the analyzer tests.
+var (
+	fixOnce sync.Once
+	fixPkgs map[string]*Package
+	fixErr  error
+)
+
+var fixtureNames = []string{
+	"looprange", "errcheck", "floatcmp", "paniclib", "shapeguard", "suppress",
+}
+
+func fixture(t *testing.T, name string) *Package {
+	t.Helper()
+	fixOnce.Do(func() {
+		var pats []string
+		for _, n := range fixtureNames {
+			pats = append(pats, filepath.Join("testdata", "src", n))
+		}
+		pkgs, err := Load(".", pats)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixPkgs = map[string]*Package{}
+		for _, p := range pkgs {
+			fixPkgs[p.ImportPath[strings.LastIndex(p.ImportPath, "/")+1:]] = p
+		}
+	})
+	if fixErr != nil {
+		t.Fatalf("loading fixtures: %v", fixErr)
+	}
+	p, ok := fixPkgs[name]
+	if !ok {
+		t.Fatalf("fixture %q not loaded", name)
+	}
+	return p
+}
+
+func runFixture(t *testing.T, name string, a *Analyzer) []Finding {
+	t.Helper()
+	p := fixture(t, name)
+	return RunPackage(p.Fset, p.Files, p.ImportPath, p.Pkg, p.Info, []*Analyzer{a})
+}
+
+// checkMarkers compares findings against the fixture's `// want: <substr>`
+// markers: every marker line must produce exactly one finding on that line
+// whose message contains the substring, and no unmarked findings may
+// survive.
+func checkMarkers(t *testing.T, name string, findings []Finding) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	type want struct {
+		file   string
+		line   int
+		substr string
+	}
+	var wants []want
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marker = "// want: "
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if idx := strings.Index(line, marker); idx >= 0 {
+				wants = append(wants, want{
+					file:   e.Name(),
+					line:   i + 1,
+					substr: strings.TrimSpace(line[idx+len(marker):]),
+				})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want markers", name)
+	}
+
+	remaining := append([]Finding(nil), findings...)
+outer:
+	for _, w := range wants {
+		for i, f := range remaining {
+			if filepath.Base(f.Pos.Filename) == w.file && f.Pos.Line == w.line &&
+				strings.Contains(f.Message, w.substr) {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				continue outer
+			}
+		}
+		t.Errorf("missing finding at %s:%d containing %q", w.file, w.line, w.substr)
+	}
+	for _, f := range remaining {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+func TestLoopRangeCaptureFixture(t *testing.T) {
+	checkMarkers(t, "looprange", runFixture(t, "looprange", LoopRangeCapture))
+}
+
+func TestUncheckedErrorFixture(t *testing.T) {
+	checkMarkers(t, "errcheck", runFixture(t, "errcheck", UncheckedError))
+}
+
+func TestFloatCompareFixture(t *testing.T) {
+	checkMarkers(t, "floatcmp", runFixture(t, "floatcmp", FloatCompare))
+}
+
+func TestPanicInLibraryFixture(t *testing.T) {
+	checkMarkers(t, "paniclib", runFixture(t, "paniclib", PanicInLibrary))
+}
+
+func TestShapeGuardFixture(t *testing.T) {
+	orig := ShapeGuardPackages
+	ShapeGuardPackages = append(append([]string(nil), orig...), "testdata/src/shapeguard")
+	defer func() { ShapeGuardPackages = orig }()
+	checkMarkers(t, "shapeguard", runFixture(t, "shapeguard", ShapeGuard))
+}
+
+// TestSuppression checks that well-formed directives (line above, trailing
+// same-line, and the "all" wildcard) silence findings, while a reason-less
+// directive is itself reported and suppresses nothing.
+func TestSuppression(t *testing.T) {
+	findings := runFixture(t, "suppress", FloatCompare)
+	var malformed, floatcmp []Finding
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "lint-ignore":
+			malformed = append(malformed, f)
+		case "float-compare":
+			floatcmp = append(floatcmp, f)
+		default:
+			t.Errorf("finding from unexpected analyzer: %s", f)
+		}
+	}
+	if len(malformed) != 1 {
+		t.Errorf("got %d malformed-directive findings, want 1: %v", len(malformed), malformed)
+	}
+	if len(floatcmp) != 2 {
+		t.Errorf("got %d surviving float-compare findings, want 2 (Unsuppressed and Malformed): %v",
+			len(floatcmp), floatcmp)
+	}
+	for _, f := range floatcmp {
+		if f.Pos.Line < 24 {
+			t.Errorf("finding in the suppressed region survived: %s", f)
+		}
+	}
+}
+
+// TestAllRegistered pins the analyzer roster: adding one without wiring it
+// into All() would silently drop it from the driver.
+func TestAllRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{
+		"looprange-capture", "unchecked-error", "float-compare",
+		"panic-in-library", "shape-guard",
+	} {
+		if !names[want] {
+			t.Errorf("All() is missing analyzer %q", want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedError flags statements that call a function returning an error
+// and drop the result on the floor: plain expression statements, go
+// statements and defer statements. Assignments to the blank identifier
+// are left alone — `_ = f()` is a visible, greppable decision, whereas a
+// bare `f()` is indistinguishable from a call that cannot fail.
+//
+// Exemptions (documented contracts, not judgment calls):
+//   - fmt.Print/Printf/Println — stdout diagnostics; checking them is noise.
+//   - fmt.Fprint* writing to os.Stdout/os.Stderr, a *strings.Builder or a
+//     *bytes.Buffer — those writers cannot return a non-nil error
+//     (strings.Builder and bytes.Buffer document this).
+//   - Methods on *strings.Builder and *bytes.Buffer for the same reason.
+var UncheckedError = &Analyzer{
+	Name: "unchecked-error",
+	Doc:  "call discards an error result",
+	Run:  runUncheckedError,
+}
+
+func runUncheckedError(p *Pass) {
+	check := func(call *ast.CallExpr, how string) {
+		if call == nil || !returnsError(p, call) || exemptCall(p, call) {
+			return
+		}
+		p.Reportf(call.Pos(), "%s discards error result of %s", how, callName(p, call))
+	}
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call, "call")
+				}
+			case *ast.GoStmt:
+				check(n.Call, "go statement")
+			case *ast.DeferStmt:
+				check(n.Call, "deferred call")
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result type is error or a tuple
+// whose last element is error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		return isErrorType(t.At(t.Len() - 1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exemptCall implements the documented exemption list.
+func exemptCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level fmt functions.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := p.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println":
+				return true
+			case "Fprint", "Fprintf", "Fprintln":
+				return len(call.Args) > 0 && exemptWriter(p, call.Args[0])
+			}
+			return false
+		}
+	}
+	// Methods on never-failing writers.
+	if recv := p.Info.Types[sel.X]; recv.Type != nil && neverFailingWriter(recv.Type) {
+		return true
+	}
+	return false
+}
+
+// exemptWriter reports whether the expression is os.Stdout, os.Stderr, or
+// a never-failing in-memory writer.
+func exemptWriter(p *Pass, e ast.Expr) bool {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := p.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "os" {
+				return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+			}
+		}
+	}
+	if tv, ok := p.Info.Types[e]; ok && tv.Type != nil {
+		return neverFailingWriter(tv.Type)
+	}
+	return false
+}
+
+func neverFailingWriter(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// callName renders a short name for the called function.
+func callName(p *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "function"
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare flags == and != between floating-point operands in
+// non-test code. Exact float equality silently corrupts the two places
+// PIM-DL depends on value identity: centroid deduplication (two centroids
+// that differ by one ulp are distinct table rows) and timing-model
+// comparisons (cost ties broken by ==). Sites that genuinely want
+// bit-exact semantics — sentinel zero checks before a divide, skip-zero
+// fast paths, bit-exactness oracles — state that with a suppression
+// directive and a reason.
+var FloatCompare = &Analyzer{
+	Name: "float-compare",
+	Doc:  "==/!= on floating-point operands",
+	Run:  runFloatCompare,
+}
+
+func runFloatCompare(p *Pass) {
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p, be.X) || isFloat(p, be.Y) {
+				p.Reportf(be.OpPos, "%s on float operands; use an epsilon or suppress with a reason if bit-exact semantics are intended", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	// Untyped float constants compared against a float variable are
+	// covered by the other operand; an untyped constant alone (e.g. in a
+	// const declaration) never reaches here with a concrete float type.
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&types.IsFloat != 0
+}

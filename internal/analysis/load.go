@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package of the module.
+type Package struct {
+	Dir        string // absolute directory
+	ImportPath string // module-qualified import path ("repro/internal/pim")
+	Files      []*ast.File
+	Fset       *token.FileSet
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Module locates the enclosing Go module of dir and returns its root
+// directory and module path, by walking up to the nearest go.mod.
+func Module(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return d, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+	}
+}
+
+// Load parses and type-checks the packages selected by patterns, which
+// may be "./...", "dir/...", or plain directories, resolved relative to
+// dir. Test files are excluded: every analyzer's contract is scoped to
+// non-test code. Packages are returned in dependency (topological) order.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := Module(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := expandPatterns(dir, root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	type parsed struct {
+		dir, importPath string
+		files           []*ast.File
+		imports         []string
+	}
+	byPath := map[string]*parsed{}
+	var order []string
+	for _, d := range dirs {
+		files, err := parseDir(fset, d)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p := &parsed{dir: d, importPath: ip, files: files}
+		seen := map[string]bool{}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if strings.HasPrefix(path, modPath+"/") || path == modPath {
+					if !seen[path] {
+						seen[path] = true
+						p.imports = append(p.imports, path)
+					}
+				}
+			}
+		}
+		byPath[ip] = p
+		order = append(order, ip)
+	}
+
+	// Intra-module dependencies must be type-checked first, even when the
+	// pattern did not select them (e.g. linting only ./cmd/... still needs
+	// the internal packages it imports).
+	for i := 0; i < len(order); i++ {
+		for _, dep := range byPath[order[i]].imports {
+			if byPath[dep] != nil {
+				continue
+			}
+			d := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(dep, modPath+"/")))
+			files, err := parseDir(fset, d)
+			if err != nil || len(files) == 0 {
+				return nil, fmt.Errorf("analysis: cannot load dependency %s: %v", dep, err)
+			}
+			p := &parsed{dir: d, importPath: dep, files: files}
+			seen := map[string]bool{}
+			for _, f := range files {
+				for _, imp := range f.Imports {
+					path := strings.Trim(imp.Path.Value, `"`)
+					if strings.HasPrefix(path, modPath+"/") && !seen[path] {
+						seen[path] = true
+						p.imports = append(p.imports, path)
+					}
+				}
+			}
+			byPath[dep] = p
+			order = append(order, dep)
+		}
+	}
+
+	// Topological sort over intra-module imports.
+	var sorted []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(ip string) error
+	visit = func(ip string) error {
+		switch state[ip] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", ip)
+		case 2:
+			return nil
+		}
+		state[ip] = 1
+		for _, dep := range byPath[ip].imports {
+			if byPath[dep] != nil {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[ip] = 2
+		sorted = append(sorted, ip)
+		return nil
+	}
+	sort.Strings(order)
+	for _, ip := range order {
+		if err := visit(ip); err != nil {
+			return nil, err
+		}
+	}
+
+	// Type-check in dependency order. Standard-library imports resolve
+	// through the shared source importer; module-internal imports resolve
+	// from the cache filled by earlier iterations.
+	std := importer.ForCompiler(fset, "source", nil)
+	cache := map[string]*types.Package{}
+	imp := &moduleImporter{std: std, cache: cache}
+	var out []*Package
+	for _, ip := range sorted {
+		p := byPath[ip]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, _ := conf.Check(ip, fset, p.files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("analysis: type errors in %s: %v", ip, typeErrs[0])
+		}
+		cache[ip] = tpkg
+		out = append(out, &Package{
+			Dir: p.dir, ImportPath: ip, Files: p.files, Fset: fset, Pkg: tpkg, Info: info,
+		})
+	}
+	return out, nil
+}
+
+// moduleImporter resolves module-internal paths from the loader's cache
+// and everything else through the stdlib source importer.
+type moduleImporter struct {
+	std   types.Importer
+	cache map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.cache[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// parseDir parses the non-test .go files of one directory (comments
+// retained — the suppression directives and panic-doc checks need them).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// expandPatterns maps CLI patterns to package directories under root.
+func expandPatterns(cwd, root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "" || pat == "." {
+			pat = cwd
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(cwd, pat)
+		}
+		if !recursive {
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+					add(path)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

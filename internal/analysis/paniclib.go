@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isBuiltin reports whether id resolves to a universe builtin (and not a
+// user-defined function shadowing the name).
+func isBuiltin(p *Pass, id *ast.Ident) bool {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return true // unresolved identifiers in fixtures default to the builtin
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// PanicInLibrary flags panic calls in library packages (import path
+// containing "internal/") outside test files. A panic that escapes a
+// library boundary crashes the serving process; paths reachable from
+// external input (deserialization, config parsing) must return errors
+// instead.
+//
+// Two escape hatches reflect accepted Go practice:
+//   - the enclosing function's doc comment mentions "panic" — a
+//     documented programmer-error contract (like the standard library's
+//     slice-index style invariants); and
+//   - functions named Must* — the conventional panic-on-error wrappers.
+//
+// Everything else is either converted to an error return or suppressed
+// with a reason at the site.
+var PanicInLibrary = &Analyzer{
+	Name: "panic-in-library",
+	Doc:  "panic in library code without a documented panic contract",
+	Run:  runPanicInLibrary,
+}
+
+func runPanicInLibrary(p *Pass) {
+	if !strings.Contains(p.PkgPath+"/", "internal/") {
+		return
+	}
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fn.Name.Name, "Must") || strings.HasPrefix(fn.Name.Name, "must") {
+				continue
+			}
+			if fn.Doc != nil && strings.Contains(strings.ToLower(fn.Doc.Text()), "panic") {
+				continue
+			}
+			name := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && isBuiltin(p, id) {
+					p.Reportf(call.Pos(), "panic in library function %s: return an error, or document the panic contract in the function comment", name)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ShapeGuardPackages lists the import-path suffixes of the packages whose
+// exported dimension-taking entry points must validate their arguments.
+// These are the layers where a bad shape silently mis-reads memory: the
+// tensor library, the LUT kernels, the PIM executor, the clustering code
+// and the artifact loader. Tests may append fixture paths.
+var ShapeGuardPackages = []string{
+	"internal/tensor",
+	"internal/lutnn",
+	"internal/pim",
+	"internal/kmeans",
+	"internal/serial",
+}
+
+// ShapeGuard flags exported functions (and methods) in the packages above
+// that take two or more int dimension parameters — a width and a height,
+// an N and a CB, a k and a dim — and use them unchecked against memory
+// (the body indexes or reslices a slice, or allocates with make) with no
+// validation at all: no early-exit if statement, no call to a
+// checker/validator, and no delegation to a same-package function that
+// validates. Such functions index slices with raw caller-supplied
+// dimensions, so a shape bug surfaces as a corrupted read instead of an
+// error. Pure-arithmetic dimension functions (the FLOP cost model) touch
+// no memory and are exempt.
+//
+// "Validation" is recognized structurally, anywhere in the function:
+//   - an if statement whose body panics or returns (an early-exit guard);
+//   - a call to a function whose name contains "check", "valid" or
+//     "Validate" (case-insensitive);
+//   - a call to a same-package function that itself validates
+//     (delegation, computed to a fixpoint — e.g. RandN delegating to New).
+//
+// Hot-path accessors that deliberately skip bounds checks document that
+// decision with a suppression directive.
+var ShapeGuard = &Analyzer{
+	Name: "shape-guard",
+	Doc:  "exported dimension-taking entry point performs no shape validation",
+	Run:  runShapeGuard,
+}
+
+func runShapeGuard(p *Pass) {
+	applies := false
+	for _, suffix := range ShapeGuardPackages {
+		if strings.HasSuffix(p.PkgPath, suffix) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+
+	type fnInfo struct {
+		decl    *ast.FuncDecl
+		guarded bool
+		callees []*types.Func
+	}
+	fns := map[*types.Func]*fnInfo{}
+
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &fnInfo{decl: fd, guarded: hasDirectGuard(p, fd)}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(p, call); callee != nil && callee.Pkg() == p.Pkg {
+					info.callees = append(info.callees, callee)
+				}
+				return true
+			})
+			fns[obj] = info
+		}
+	}
+
+	// Propagate guardedness through same-package delegation to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, info := range fns {
+			if info.guarded {
+				continue
+			}
+			for _, callee := range info.callees {
+				if c, ok := fns[callee]; ok && c.guarded {
+					info.guarded = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, info := range fns {
+		fd := info.decl
+		if !fd.Name.IsExported() || info.guarded {
+			continue
+		}
+		if dimParamCount(fd) < 2 || !touchesMemory(p, fd) {
+			continue
+		}
+		p.Reportf(fd.Name.Pos(),
+			"exported %s takes dimension arguments but never validates them; add a shape guard or suppress with a reason", fd.Name.Name)
+	}
+}
+
+// dimParamCount counts plain int parameters; a variadic ...int dimension
+// list counts as two (it is a whole shape).
+func dimParamCount(fd *ast.FuncDecl) int {
+	n := 0
+	for _, field := range fd.Type.Params.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		switch t := field.Type.(type) {
+		case *ast.Ident:
+			if t.Name == "int" {
+				n += names
+			}
+		case *ast.Ellipsis:
+			if id, ok := t.Elt.(*ast.Ident); ok && id.Name == "int" {
+				n += 2 * names
+			}
+		}
+	}
+	return n
+}
+
+// touchesMemory reports whether the function body indexes or reslices a
+// slice or allocates with make — the uses a bad dimension can corrupt.
+func touchesMemory(p *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr, *ast.SliceExpr:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(p, id) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasDirectGuard reports whether the function body contains an early-exit
+// if statement or a call to a checker/validator by name.
+func hasDirectGuard(p *Pass, fd *ast.FuncDecl) bool {
+	guarded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.ReturnStmt:
+					guarded = true
+				case *ast.CallExpr:
+					if id, ok := m.Fun.(*ast.Ident); ok && id.Name == "panic" && isBuiltin(p, id) {
+						guarded = true
+					}
+				}
+				return !guarded
+			})
+		case *ast.CallExpr:
+			name := ""
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			lower := strings.ToLower(name)
+			if strings.Contains(lower, "check") || strings.Contains(lower, "valid") {
+				guarded = true
+			}
+		}
+		return !guarded
+	})
+	return guarded
+}
+
+// calleeFunc resolves the called function object, if it is a declared
+// function or method (not a builtin or function value).
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+// Package errcheck is a pimdl-lint fixture: discarded error results.
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Discards drops errors in every statement form the analyzer covers.
+func Discards(f *os.File) {
+	fallible()      // want: call discards error result of fallible
+	pair()          // want: call discards error result of pair
+	defer f.Close() // want: deferred call discards error result of f.Close
+	go fallible()   // want: go statement discards error result of fallible
+}
+
+// Exempt exercises the documented exemption list: fmt printers, writes to
+// stderr and to never-failing in-memory writers, and explicit blanking.
+func Exempt() {
+	var b strings.Builder
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stderr, "ok")
+	fmt.Fprintf(&b, "ok")
+	b.WriteString("ok")
+	_ = fallible()
+}

@@ -1,0 +1,25 @@
+// Package floatcmp is a pimdl-lint fixture: exact float comparisons.
+package floatcmp
+
+// Exact compares floats with == and !=.
+func Exact(a, b float64, c float32) bool {
+	if a == b { // want: == on float operands
+		return true
+	}
+	if c != 0 { // want: != on float operands
+		return false
+	}
+	return a == 1.5 // want: == on float operands
+}
+
+// Ints may compare exactly.
+func Ints(a, b int) bool { return a == b }
+
+// Epsilon is the sanctioned style.
+func Epsilon(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,43 @@
+// Package looprange is a pimdl-lint fixture: goroutines capturing loop
+// variables instead of taking them as arguments.
+package looprange
+
+import "sync"
+
+// Captured launches goroutines that capture the range variables.
+func Captured(items []int) {
+	var wg sync.WaitGroup
+	for i, v := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = i // want: goroutine captures loop variable "i"
+			_ = v // want: goroutine captures loop variable "v"
+		}()
+	}
+	wg.Wait()
+}
+
+// CapturedFor captures a classic three-clause loop index.
+func CapturedFor(n int) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_ = i // want: goroutine captures loop variable "i"
+			done <- struct{}{}
+		}()
+	}
+}
+
+// Passed uses the sanctioned explicit-argument style.
+func Passed(items []int) {
+	var wg sync.WaitGroup
+	for i, v := range items {
+		wg.Add(1)
+		go func(i, v int) {
+			defer wg.Done()
+			_ = i + v
+		}(i, v)
+	}
+	wg.Wait()
+}

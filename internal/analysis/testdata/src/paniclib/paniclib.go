@@ -1,0 +1,32 @@
+// Package paniclib is a pimdl-lint fixture: crashing in library code.
+package paniclib
+
+import "fmt"
+
+// Undocumented crashes without stating that contract in its comment.
+func Undocumented(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // want: panic in library function Undocumented
+	}
+}
+
+// Documented panics if n is negative — the contract is in this comment.
+func Documented(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}
+
+// MustParse is a conventional crash-on-error wrapper, exempt by name.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty")
+	}
+	return len(s)
+}
+
+// shadowed calls a local function that merely shares the builtin's name.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

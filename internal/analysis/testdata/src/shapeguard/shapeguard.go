@@ -1,0 +1,48 @@
+// Package shapeguard is a pimdl-lint fixture: dimension-taking entry
+// points with and without validation.
+package shapeguard
+
+// Raw indexes caller-supplied dimensions with no validation. (want below
+// anchors to the declaration line.)
+func Raw(data []float32, rows, cols int) float32 { // want: exported Raw takes dimension arguments
+	return data[rows*cols-1]
+}
+
+// Alloc allocates from unchecked dimensions.
+func Alloc(rows, cols int) []float32 { // want: exported Alloc takes dimension arguments
+	return make([]float32, rows*cols)
+}
+
+// Guarded validates before touching memory.
+func Guarded(data []float32, rows, cols int) float32 {
+	if rows <= 0 || cols <= 0 || rows*cols > len(data) {
+		panic("shapeguard: bad shape")
+	}
+	return data[rows*cols-1]
+}
+
+// Delegates inherits its guard from Guarded through the fixpoint.
+func Delegates(data []float32, rows, cols int) float32 {
+	return Guarded(data, rows, cols)
+}
+
+// Checked calls a validator by name.
+func Checked(data []float32, rows, cols int) float32 {
+	checkShape(len(data), rows, cols)
+	return data[rows*cols-1]
+}
+
+func checkShape(n, rows, cols int) {
+	if rows*cols > n {
+		panic("shapeguard: bad shape")
+	}
+}
+
+// Pure touches no memory — the FLOP-cost-model exemption.
+func Pure(rows, cols int) int { return rows * cols }
+
+// Single takes only one dimension; not a shape.
+func Single(data []float32, i int) float32 { return data[i] }
+
+// raw is unexported and therefore not an entry point.
+func raw(data []float32, rows, cols int) float32 { return data[rows*cols-1] }

@@ -1,0 +1,33 @@
+// Package suppress is a pimdl-lint fixture: suppression directives. The
+// expectations live in TestSuppression rather than want-markers, because
+// a trailing marker comment would merge into the directive under test.
+package suppress
+
+// ZeroCheck has justified exact comparisons, suppressed both ways: a
+// directive on the line above and a trailing directive on the same line.
+func ZeroCheck(a, b float64) bool {
+	//pimdl:lint-ignore float-compare sentinel zero before divide
+	if a == 0 {
+		return false
+	}
+	return a == b //pimdl:lint-ignore float-compare bit-exact oracle
+}
+
+// WildCard uses the "all" wildcard.
+func WildCard(x float64) bool {
+	//pimdl:lint-ignore all fixture exercises the wildcard
+	return x == 1
+}
+
+// Unsuppressed still reports.
+func Unsuppressed(x float64) bool {
+	return x != 2
+}
+
+// Malformed sits under a reason-less directive: the directive itself is
+// reported and must not suppress the comparison below it.
+//
+//pimdl:lint-ignore float-compare
+func Malformed(x float64) bool {
+	return x == 3
+}

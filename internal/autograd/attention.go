@@ -24,6 +24,9 @@ func MultiHeadAttentionCausal(q, k, v *Value, seqLen, heads int) *Value {
 	return attention(q, k, v, seqLen, heads, true)
 }
 
+// attention implements both attention variants; it panics unless seqLen
+// divides the row count and heads divides the hidden width (the exported
+// wrappers document this contract).
 func attention(q, k, v *Value, seqLen, heads int, causal bool) *Value {
 	n, hidden := q.T.Dim(0), q.T.Dim(1)
 	if n%seqLen != 0 {

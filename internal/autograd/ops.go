@@ -324,7 +324,7 @@ func MeanRows(a *Value) *Value {
 
 // PoolRowGroups mean-pools groups of `group` consecutive rows: an
 // (B·group)×D input becomes B×D. Used to pool per-token features into
-// per-sequence features.
+// per-sequence features. It panics unless group divides the row count.
 func PoolRowGroups(a *Value, group int) *Value {
 	n, d := a.T.Dim(0), a.T.Dim(1)
 	if n%group != 0 {
@@ -418,7 +418,8 @@ func SliceCols(a *Value, lo, hi int) *Value {
 }
 
 // CrossEntropyLogits computes mean cross-entropy between row logits and
-// integer class labels, returning a scalar value.
+// integer class labels, returning a scalar value. It panics if the label
+// count differs from the logit row count.
 func CrossEntropyLogits(logits *Value, labels []int) *Value {
 	n, c := logits.T.Dim(0), logits.T.Dim(1)
 	if len(labels) != n {
@@ -457,7 +458,7 @@ func CrossEntropyLogits(logits *Value, labels []int) *Value {
 }
 
 // MSE computes mean((a−b)²) as a scalar value with gradients into both
-// operands.
+// operands. It panics on size mismatch.
 func MSE(a, b *Value) *Value {
 	if a.T.Size() != b.T.Size() {
 		panic("autograd: MSE size mismatch")
@@ -530,7 +531,7 @@ func Sigmoid(a *Value) *Value {
 
 // Dropout zeroes each element with probability p during training and
 // scales the survivors by 1/(1−p) (inverted dropout). With rng == nil it
-// is the identity (inference mode).
+// is the identity (inference mode). It panics if p ≥ 1.
 func Dropout(a *Value, p float64, rng *rand.Rand) *Value {
 	if rng == nil || p <= 0 {
 		return a

@@ -68,8 +68,8 @@ func (v *Value) ZeroGrad() {
 }
 
 // Backward runs reverse-mode differentiation from v, which must be a
-// scalar-shaped (1×1 or size-1) value. Gradients accumulate into every
-// reachable Value with requiresGrad set.
+// scalar-shaped (1×1 or size-1) value (it panics otherwise). Gradients
+// accumulate into every reachable Value with requiresGrad set.
 func (v *Value) Backward() {
 	if v.T.Size() != 1 {
 		panic("autograd: Backward requires a scalar loss")

@@ -70,6 +70,7 @@ type Device struct {
 // roofline returns max(ops/effPeak, bytes/bw).
 func (d *Device) roofline(ops, bytes float64, prec Precision, eff float64) float64 {
 	peak := d.PeakOPS[prec]
+	//pimdl:lint-ignore float-compare missing map entry is exactly zero; fall back to the FP32 roof
 	if peak == 0 {
 		peak = d.PeakOPS[FP32]
 	}

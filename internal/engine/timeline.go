@@ -24,6 +24,7 @@ func (r *Report) Timeline(width, maxLayers int) string {
 		ops = append(ops, op)
 		span += op.Time
 	}
+	//pimdl:lint-ignore float-compare span is a sum of non-negative times; exactly zero means no ops rendered
 	if span == 0 {
 		return "(empty timeline)\n"
 	}

@@ -131,6 +131,9 @@ func TestFig11BreakdownShape(t *testing.T) {
 }
 
 func TestFig12Trends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig12 sweeps every model/platform pair; minutes under -race")
+	}
 	r, err := Fig12()
 	if err != nil {
 		t.Fatal(err)
@@ -212,6 +215,9 @@ func TestFig13TunerQuality(t *testing.T) {
 }
 
 func TestFig1415Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig14/15 run the full scalability sweep; minutes under -race")
+	}
 	r, err := Fig1415()
 	if err != nil {
 		t.Fatal(err)

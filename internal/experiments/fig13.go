@@ -181,6 +181,7 @@ func RenderGrid(cells []GridCell) string {
 			switch {
 			case !ok:
 				b.WriteString("      ·") // illegal pair
+			//pimdl:lint-ignore float-compare identity with the stored minimum of the same map values; bit-exact by construction
 			case t == best:
 				b.WriteString("      *")
 			default:

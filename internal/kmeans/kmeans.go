@@ -35,7 +35,8 @@ type Config struct {
 
 // Run clusters n points of dimension dim (points is n×dim flattened).
 // If n < K the surplus centroids are duplicated from sampled points so the
-// result always has exactly K centroids.
+// result always has exactly K centroids. It panics if K is non-positive
+// or len(points) ≠ n·dim.
 func Run(points []float32, n, dim int, cfg Config) *Result {
 	if cfg.K <= 0 {
 		panic("kmeans: K must be positive")
@@ -141,6 +142,7 @@ func seedPlusPlus(points []float32, n, dim, k int, rng *rand.Rand) []float32 {
 			total += d2[i]
 		}
 		var idx int
+		//pimdl:lint-ignore float-compare D² mass exactly zero means all points coincide with a centroid; fall back to uniform sampling
 		if total == 0 {
 			idx = rng.Intn(n)
 		} else {
@@ -191,6 +193,7 @@ func Nearest(p []float32, cent []float32, k, dim int) (int, float32) {
 // inertia for much lower cost on large calibration sets — BERT-scale
 // conversion clusters H/V × layers × 4 codebooks over hundreds of
 // thousands of sub-vectors, where full Lloyd iterations are wasteful.
+// Like Run, it panics if K is non-positive or len(points) ≠ n·dim.
 func RunMiniBatch(points []float32, n, dim int, cfg Config, batchSize int) *Result {
 	if cfg.K <= 0 {
 		panic("kmeans: K must be positive")

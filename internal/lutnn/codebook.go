@@ -46,12 +46,19 @@ type Codebooks struct {
 	Data      []float32
 }
 
-// NewCodebooks allocates zeroed codebooks.
+// NewCodebooks allocates zeroed codebooks. It panics on non-positive
+// dimensions — a zero or negative CB/CT/V always means a caller bug, and
+// catching it here beats a corrupted flat index later.
 func NewCodebooks(cb, ct, v int) *Codebooks {
+	if cb <= 0 || ct <= 0 || v <= 0 {
+		panic(fmt.Sprintf("lutnn: non-positive codebook shape (%d,%d,%d)", cb, ct, v))
+	}
 	return &Codebooks{CB: cb, CT: ct, V: v, Data: make([]float32, cb*ct*v)}
 }
 
 // Centroid returns a slice aliasing centroid ct of codebook cb.
+//
+//pimdl:lint-ignore shape-guard hot-path accessor with Go's slice-bounds contract; callers validate cb/ct
 func (c *Codebooks) Centroid(cb, ct int) []float32 {
 	off := (cb*c.CT + ct) * c.V
 	return c.Data[off : off+c.V]
@@ -108,7 +115,7 @@ func (c *Codebooks) centroidSqNorms() []float32 {
 
 // Search runs closest-centroid search over acts (N×H), returning the N×CB
 // index matrix (row-major uint8). This is the CCS operator that PIM-DL
-// executes on the host.
+// executes on the host. It panics if the activation width is not CB·V.
 func (c *Codebooks) Search(acts *tensor.Tensor) []uint8 {
 	n, h := acts.Dim(0), acts.Dim(1)
 	if h != c.CB*c.V {
@@ -162,7 +169,9 @@ func (c *Codebooks) Approximate(acts *tensor.Tensor, idx []uint8) *tensor.Tensor
 // SearchParallel is Search fanned out across CPU cores: the host-side CCS
 // operator is embarrassingly parallel over activation rows, and the
 // inference engine's host is a multi-core Xeon. Results are identical to
-// Search.
+// Search, including the panic on a mismatched activation width. Workers
+// write disjoint idx[lo·CB : hi·CB] ranges, so the fan-out is race-free
+// by index partitioning.
 func (c *Codebooks) SearchParallel(acts *tensor.Tensor) []uint8 {
 	n, h := acts.Dim(0), acts.Dim(1)
 	if h != c.CB*c.V {

@@ -28,6 +28,8 @@ func (l *LUT) QuantizeHalf(bf bool) *HalfLUT {
 }
 
 // Slice returns the raw 16-bit F-length vector for (cb, ct).
+//
+//pimdl:lint-ignore shape-guard hot-path accessor with Go's slice-bounds contract; callers validate cb/ct
 func (h *HalfLUT) Slice(cb, ct int) []uint16 {
 	off := (cb*h.CT + ct) * h.F
 	return h.Data[off : off+h.F]
@@ -45,7 +47,8 @@ func (h *HalfLUT) decode(v uint16) float32 {
 }
 
 // Lookup accumulates 16-bit entries in float32, matching the MAC-unit
-// behaviour of HBM-PIM/AiM (16-bit operands, wide accumulators).
+// behaviour of HBM-PIM/AiM (16-bit operands, wide accumulators). It
+// panics if len(idx) is not n·CB.
 func (h *HalfLUT) Lookup(idx []uint8, n int) *tensor.Tensor {
 	if len(idx) != n*h.CB {
 		panic("lutnn: index matrix length mismatch")

@@ -150,7 +150,8 @@ func medianOfBucket(sub [][]float32, bucket []int, node, dim int) float32 {
 }
 
 // Encode maps activations to leaf indices with log2(CT) comparisons per
-// tile — no multiplications.
+// tile — no multiplications. It panics if the activation width is not
+// CB·V.
 func (e *HashEncoder) Encode(acts *tensor.Tensor) []uint8 {
 	n, h := acts.Dim(0), acts.Dim(1)
 	if h != e.CB*e.V {

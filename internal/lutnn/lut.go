@@ -48,6 +48,8 @@ func BuildLUT(c *Codebooks, w *tensor.Tensor) (*LUT, error) {
 
 // Slice returns the F-length partial-sum vector for (cb, ct), aliasing the
 // table storage.
+//
+//pimdl:lint-ignore shape-guard hot-path accessor with Go's slice-bounds contract; callers validate cb/ct
 func (l *LUT) Slice(cb, ct int) []float32 {
 	off := (cb*l.CT + ct) * l.F
 	return l.Data[off : off+l.F]
@@ -61,7 +63,8 @@ func (l *LUT) SizeBytes(bytesPerElem int) int {
 
 // Lookup executes the reference table-lookup/accumulate kernel on the
 // host: out[n][f] = Σ_cb LUT[cb][idx[n][cb]][f] (paper §3.2 steps ❻–❼).
-// idx is the N×CB index matrix from Codebooks.Search.
+// idx is the N×CB index matrix from Codebooks.Search. It panics if
+// len(idx) is not n·CB.
 func (l *LUT) Lookup(idx []uint8, n int) *tensor.Tensor {
 	if len(idx) != n*l.CB {
 		panic(fmt.Sprintf("lutnn: index matrix length %d != N·CB = %d", len(idx), n*l.CB))
@@ -96,6 +99,8 @@ func (l *LUT) Quantize() *QuantizedLUT {
 }
 
 // Slice returns the int8 F-length vector for (cb, ct).
+//
+//pimdl:lint-ignore shape-guard hot-path accessor with Go's slice-bounds contract; callers validate cb/ct
 func (q *QuantizedLUT) Slice(cb, ct int) []int8 {
 	off := (cb*q.CT + ct) * q.F
 	return q.Data[off : off+q.F]
@@ -105,7 +110,8 @@ func (q *QuantizedLUT) Slice(cb, ct int) []int8 {
 func (q *QuantizedLUT) SizeBytes() int { return len(q.Data) }
 
 // Lookup accumulates int8 entries in int32 and rescales to float once at
-// the end, mirroring the UPMEM integer pipeline.
+// the end, mirroring the UPMEM integer pipeline. It panics if len(idx)
+// is not n·CB.
 func (q *QuantizedLUT) Lookup(idx []uint8, n int) *tensor.Tensor {
 	if len(idx) != n*q.CB {
 		panic("lutnn: index matrix length mismatch")

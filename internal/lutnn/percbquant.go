@@ -40,6 +40,7 @@ func (l *LUT) QuantizePerCB() *PerCBQuantizedLUT {
 			}
 		}
 		scale := maxAbs / 127
+		//pimdl:lint-ignore float-compare exact zero means an all-zero codebook slab; any positive scale is equivalent
 		if scale == 0 {
 			scale = 1
 		}
@@ -60,6 +61,8 @@ func (l *LUT) QuantizePerCB() *PerCBQuantizedLUT {
 }
 
 // Slice returns the int8 F-length vector for (cb, ct).
+//
+//pimdl:lint-ignore shape-guard hot-path accessor with Go's slice-bounds contract; callers validate cb/ct
 func (q *PerCBQuantizedLUT) Slice(cb, ct int) []int8 {
 	off := (cb*q.CT + ct) * q.F
 	return q.Data[off : off+q.F]
@@ -68,7 +71,8 @@ func (q *PerCBQuantizedLUT) Slice(cb, ct int) []int8 {
 // SizeBytes returns the table footprint (scales included).
 func (q *PerCBQuantizedLUT) SizeBytes() int { return len(q.Data) + 4*len(q.Scales) }
 
-// Lookup accumulates scale[cb]·int8 slices in float32.
+// Lookup accumulates scale[cb]·int8 slices in float32. It panics if
+// len(idx) is not n·CB.
 func (q *PerCBQuantizedLUT) Lookup(idx []uint8, n int) *tensor.Tensor {
 	if len(idx) != n*q.CB {
 		panic("lutnn: index matrix length mismatch")

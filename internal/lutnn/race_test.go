@@ -1,0 +1,40 @@
+package lutnn
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestSearchParallelConcurrentCallers runs the CCS fan-out from many
+// concurrent callers over shared codebooks. SearchParallel's workers write
+// disjoint idx[lo·CB : hi·CB] ranges, so every concurrent call must
+// reproduce serial Search exactly; under -race this doubles as the
+// regression test for that partitioning.
+func TestSearchParallelConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	acts := tensor.RandN(rng, 1, 256, 32)
+	cbs, err := BuildCodebooks(acts, Params{V: 4, CT: 16}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cbs.Search(acts)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 4; it++ {
+				if got := cbs.SearchParallel(acts); !bytes.Equal(got, want) {
+					t.Error("concurrent SearchParallel diverged from Search")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -115,7 +115,7 @@ var Roles = []LinearRole{RoleQKV, RoleO, RoleFFN1, RoleFFN2}
 
 // LinearShape returns (outFeatures, inFeatures) of the role's weight for
 // config c. QKV is the fused projection (3H×H), as the paper fuses Q/K/V
-// into one FC operator.
+// into one FC operator. It panics on an unknown role.
 func (c Config) LinearShape(r LinearRole) (out, in int) {
 	switch r {
 	case RoleQKV:

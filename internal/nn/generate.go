@@ -9,7 +9,8 @@ import (
 
 // LMHead turns the model into a token predictor: logits over the
 // vocabulary for the LAST position of each sequence, computed by
-// projecting through the (tied) embedding table. Requires TokenInput.
+// projecting through the (tied) embedding table. Requires TokenInput
+// (it panics otherwise).
 func (m *Model) LMHead(b *Batch) *tensor.Tensor {
 	if m.Config.Kind != TokenInput {
 		panic("nn: LMHead requires TokenInput")

@@ -127,7 +127,8 @@ func poolRows(x *tensor.Tensor, group int) *tensor.Tensor {
 }
 
 // SetBackend switches every convertible linear layer to the given backend.
-// Switching to a LUT backend requires prior conversion.
+// Switching to a LUT backend requires prior conversion (it panics on an
+// unconverted layer).
 func (m *Model) SetBackend(be Backend) {
 	for _, blk := range m.Blocks {
 		for _, r := range Roles {

@@ -65,7 +65,8 @@ func (l *Linear) Forward(x *autograd.Value) *autograd.Value {
 	return autograd.AddBias(approx, l.B)
 }
 
-// Infer applies the layer in plain-tensor mode using the selected backend.
+// Infer applies the layer in plain-tensor mode using the selected
+// backend. It panics if a LUT backend is selected before conversion.
 func (l *Linear) Infer(x *tensor.Tensor) *tensor.Tensor {
 	switch l.Backend {
 	case BackendLUT, BackendLUTInt8:
@@ -112,7 +113,8 @@ func newBlock(rng *rand.Rand, c Config) *Block {
 	return b
 }
 
-// Linear returns the block's linear layer for the given role.
+// Linear returns the block's linear layer for the given role; it panics
+// on an unknown role.
 func (b *Block) Linear(r LinearRole) *Linear {
 	switch r {
 	case RoleQKV:
@@ -140,7 +142,9 @@ type Model struct {
 	Head     *Linear // classifier (Classes×H); kept GEMM (it is tiny)
 }
 
-// NewModel constructs a randomly initialized model.
+// NewModel constructs a randomly initialized model. It panics on an
+// invalid config — construction happens at startup, where failing fast
+// beats threading an error through every experiment harness.
 func NewModel(c Config, seed int64) *Model {
 	if err := c.Validate(); err != nil {
 		panic(err)

@@ -1,0 +1,153 @@
+package serial
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lutnn"
+	"repro/internal/tensor"
+)
+
+// validLayerBytes serializes one small converted layer (with INT8 table
+// and bias) for the corruption tests.
+func validLayerBytes(t *testing.T) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	acts := tensor.RandN(rng, 1, 32, 8)
+	w := tensor.RandN(rng, 1, 6, 8)
+	bias := tensor.RandN(rng, 1, 6)
+	layer, err := lutnn.Convert(w, bias, acts, lutnn.Params{V: 2, CT: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer.EnableINT8()
+	var buf bytes.Buffer
+	if err := WriteLayer(&buf, layer); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadLayerTruncated feeds every proper prefix of a valid layer file
+// to the loader. Each must come back as an error — never a panic and
+// never a silent success on partial data.
+func TestReadLayerTruncated(t *testing.T) {
+	data := validLayerBytes(t)
+	for n := 0; n < len(data); n++ {
+		n := n
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadLayer panicked on %d-byte prefix: %v", n, r)
+				}
+			}()
+			if _, err := ReadLayer(bytes.NewReader(data[:n])); err == nil {
+				t.Fatalf("ReadLayer accepted a %d-byte prefix of a %d-byte file", n, len(data))
+			}
+		}()
+	}
+}
+
+// TestReadLayerBitFlips flips one byte at a time across the header region
+// and requires the loader to either reject the file or return a
+// structurally consistent layer — crashing is not an option for a model
+// loader.
+func TestReadLayerBitFlips(t *testing.T) {
+	data := validLayerBytes(t)
+	limit := len(data)
+	if limit > 64 {
+		limit = 64 // headers and dimensions live at the front
+	}
+	for i := 0; i < limit; i++ {
+		corrupted := append([]byte(nil), data...)
+		corrupted[i] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadLayer panicked with byte %d flipped: %v", i, r)
+				}
+			}()
+			ly, err := ReadLayer(bytes.NewReader(corrupted))
+			if err != nil {
+				return
+			}
+			if ly.Codebooks == nil || ly.Table == nil {
+				t.Fatalf("byte %d flipped: loader returned incomplete layer without error", i)
+			}
+		}()
+	}
+}
+
+// TestOverflowingDims hand-crafts headers whose per-dimension values pass
+// the individual maxDim bound but whose product overflows int. The loader
+// must reject them instead of allocating through a wrapped size.
+func TestOverflowingDims(t *testing.T) {
+	u32 := func(b *bytes.Buffer, v uint32) {
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], v)
+		b.Write(tmp[:])
+	}
+	header := func(magic string) *bytes.Buffer {
+		var b bytes.Buffer
+		b.WriteString(magic)
+		b.Write([]byte{version, 0}) // little-endian uint16
+		return &b
+	}
+	huge := uint32(1 << 27) // < maxDim each; product overflows
+
+	b := header(magicCodebooks)
+	u32(b, huge)
+	u32(b, huge)
+	u32(b, huge)
+	if _, err := ReadCodebooks(bytes.NewReader(b.Bytes())); err == nil {
+		t.Fatal("ReadCodebooks accepted overflowing dimensions")
+	}
+
+	b = header(magicLUT)
+	u32(b, huge)
+	u32(b, huge)
+	u32(b, huge)
+	if _, err := ReadLUT(bytes.NewReader(b.Bytes())); err == nil {
+		t.Fatal("ReadLUT accepted overflowing dimensions")
+	}
+
+	b = header(magicQLUT)
+	u32(b, huge)
+	u32(b, huge)
+	u32(b, huge)
+	u32(b, 0x3f800000) // scale = 1.0
+	if _, err := ReadQuantizedLUT(bytes.NewReader(b.Bytes())); err == nil {
+		t.Fatal("ReadQuantizedLUT accepted overflowing dimensions")
+	}
+
+	b = header(magicHalfLUT)
+	u32(b, huge)
+	u32(b, huge)
+	u32(b, huge)
+	b.WriteByte(0) // BF flag
+	if _, err := ReadHalfLUT(bytes.NewReader(b.Bytes())); err == nil {
+		t.Fatal("ReadHalfLUT accepted overflowing dimensions")
+	}
+
+	// Rank-8 tensor of huge dims: the shape product wraps far past int64.
+	b = header(magicTensor)
+	u32(b, 8)
+	for i := 0; i < 8; i++ {
+		u32(b, huge)
+	}
+	if _, err := NewDecoder(bytes.NewReader(b.Bytes())).Tensor(); err == nil {
+		t.Fatal("Decoder.Tensor accepted overflowing shape")
+	}
+}
+
+// TestBadMagicAndVersion covers the outermost rejects.
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := ReadLayer(bytes.NewReader([]byte("XXXX\x01\x00"))); err == nil {
+		t.Fatal("ReadLayer accepted bad magic")
+	}
+	if _, err := ReadLayer(bytes.NewReader([]byte(magicLayer + "\x63\x00"))); err == nil {
+		t.Fatal("ReadLayer accepted unsupported version")
+	}
+}

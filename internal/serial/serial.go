@@ -39,6 +39,12 @@ const (
 // corrupt rather than allocating unbounded memory.
 const maxDim = 1 << 28
 
+// maxElems bounds the total element count of any serialized payload.
+// Without it, a corrupt header whose per-dimension values are individually
+// plausible can overflow the int product, turn into a small (or negative)
+// allocation size, and panic the loader instead of returning an error.
+const maxElems = 1 << 28
+
 type writer struct {
 	w   *bufio.Writer
 	err error
@@ -160,6 +166,25 @@ func (r *reader) dim(what string) int {
 	return int(v)
 }
 
+// elems returns the overflow-checked product of already-validated
+// dimensions, failing the read if it exceeds maxElems. Every payload
+// allocation goes through this, so a malformed model file is rejected as
+// an error instead of crashing the loader.
+func (r *reader) elems(what string, dims ...int) int {
+	if r.err != nil {
+		return 0
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 || n > maxElems/d {
+			r.err = fmt.Errorf("serial: implausible %s element count %v", what, dims)
+			return 0
+		}
+		n *= d
+	}
+	return n
+}
+
 func (r *reader) f32() float32 { return math.Float32frombits(r.u32()) }
 
 func (r *reader) f32s(n int) []float32 {
@@ -239,11 +264,12 @@ func ReadCodebooks(r io.Reader) (*lutnn.Codebooks, error) {
 func readCodebooks(sr *reader) (*lutnn.Codebooks, error) {
 	sr.magic(magicCodebooks)
 	cb, ct, v := sr.dim("CB"), sr.dim("CT"), sr.dim("V")
+	n := sr.elems("codebook", cb, ct, v)
 	if sr.err != nil {
 		return nil, sr.err
 	}
 	out := lutnn.NewCodebooks(cb, ct, v)
-	copy(out.Data, sr.f32s(cb*ct*v))
+	copy(out.Data, sr.f32s(n))
 	return out, sr.err
 }
 
@@ -270,10 +296,11 @@ func ReadLUT(r io.Reader) (*lutnn.LUT, error) {
 func readLUT(sr *reader) (*lutnn.LUT, error) {
 	sr.magic(magicLUT)
 	cb, ct, f := sr.dim("CB"), sr.dim("CT"), sr.dim("F")
+	n := sr.elems("LUT", cb, ct, f)
 	if sr.err != nil {
 		return nil, sr.err
 	}
-	data := sr.f32s(cb * ct * f)
+	data := sr.f32s(n)
 	if sr.err != nil {
 		return nil, sr.err
 	}
@@ -305,10 +332,11 @@ func readQuantizedLUT(sr *reader) (*lutnn.QuantizedLUT, error) {
 	sr.magic(magicQLUT)
 	cb, ct, f := sr.dim("CB"), sr.dim("CT"), sr.dim("F")
 	scale := sr.f32()
+	n := sr.elems("quantized LUT", cb, ct, f)
 	if sr.err != nil {
 		return nil, sr.err
 	}
-	data := sr.i8s(cb * ct * f)
+	data := sr.i8s(n)
 	if sr.err != nil {
 		return nil, sr.err
 	}
@@ -333,10 +361,11 @@ func ReadHalfLUT(r io.Reader) (*lutnn.HalfLUT, error) {
 	sr.magic(magicHalfLUT)
 	cb, ct, f := sr.dim("CB"), sr.dim("CT"), sr.dim("F")
 	bf := sr.bool()
+	n := sr.elems("half LUT", cb, ct, f)
 	if sr.err != nil {
 		return nil, sr.err
 	}
-	data := sr.u16s(cb * ct * f)
+	data := sr.u16s(n)
 	if sr.err != nil {
 		return nil, sr.err
 	}
@@ -568,11 +597,10 @@ func (d *Decoder) Tensor() (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("serial: implausible tensor rank %d", rank)
 	}
 	shape := make([]int, rank)
-	n := 1
 	for i := range shape {
 		shape[i] = d.sr.dim("tensor")
-		n *= shape[i]
 	}
+	n := d.sr.elems("tensor", shape...)
 	if d.sr.err != nil {
 		return nil, d.sr.err
 	}

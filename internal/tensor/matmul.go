@@ -10,7 +10,10 @@ import (
 // avoid scheduling overhead dominating.
 const matmulParallelThreshold = 1 << 18
 
-// MatMul computes C = A·B for A (m×k) and B (k×n).
+// MatMul computes C = A·B for A (m×k) and B (k×n). It panics if the
+// operands are not rank-2 or the inner dimensions disagree — shape bugs
+// at this level are programmer errors, caught by the shape-guarded entry
+// points above.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMul requires rank-2 tensors")
@@ -27,7 +30,8 @@ func MatMul(a, b *Tensor) *Tensor {
 
 // MatMulT computes C = A·Bᵀ for A (m×k) and B (n×k). This is the layout
 // used throughout PIM-DL: weights are stored (F×H) and activations (N×H),
-// matching the paper's LUT construction convention.
+// matching the paper's LUT construction convention. It panics on rank or
+// inner-dimension mismatch.
 func MatMulT(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulT requires rank-2 tensors")
@@ -65,6 +69,7 @@ func matmulInto(c, a, b []float32, m, k, n int) {
 			ar := a[i*k : (i+1)*k]
 			for p := 0; p < k; p++ {
 				av := ar[p]
+				//pimdl:lint-ignore float-compare exact-zero sparsity fast path; any nonzero value must multiply
 				if av == 0 {
 					continue
 				}
@@ -109,7 +114,7 @@ func parallelRows(m int, work int, f func(lo, hi int)) {
 	wg.Wait()
 }
 
-// Transpose returns Aᵀ for a rank-2 tensor.
+// Transpose returns Aᵀ for a rank-2 tensor. It panics on other ranks.
 func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic("tensor: Transpose requires rank-2 tensor")
@@ -126,7 +131,7 @@ func Transpose(a *Tensor) *Tensor {
 }
 
 // AddBias adds a length-n bias vector to every row of an m×n matrix, in
-// place, and returns the matrix.
+// place, and returns the matrix. It panics on rank or length mismatch.
 func AddBias(a *Tensor, bias *Tensor) *Tensor {
 	if a.Rank() != 2 || bias.Rank() != 1 {
 		panic("tensor: AddBias wants matrix and vector")

@@ -25,6 +25,7 @@ func QuantizeINT8(t *Tensor) *QTensor {
 		}
 	}
 	scale := maxAbs / 127
+	//pimdl:lint-ignore float-compare exact zero means an all-zero tensor; any positive scale is equivalent
 	if scale == 0 {
 		scale = 1
 	}

@@ -1,0 +1,42 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestMatMulConcurrentCallers hammers the parallelRows fan-out from many
+// concurrent callers sharing read-only operands. Each call must stay
+// bit-identical to a reference: workers write disjoint row ranges of a
+// private output, so neither the schedule nor the caller count may change
+// a single bit. Run under -race this is the regression test for the
+// matmul fan-out's index partitioning.
+func TestMatMulConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// 64³ keeps 2·m·k·n above matmulParallelThreshold so the parallel
+	// path, not the serial fallback, is exercised.
+	a := RandN(rng, 1, 64, 64)
+	b := RandN(rng, 1, 64, 64)
+	ref := MatMul(a, b)
+	refT := MatMulT(a, b)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 4; it++ {
+				if got := MatMul(a, b); !Equal(got, ref) {
+					t.Error("concurrent MatMul diverged from reference")
+					return
+				}
+				if got := MatMulT(a, b); !Equal(got, refT) {
+					t.Error("concurrent MatMulT diverged from reference")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -20,7 +20,8 @@ type Tensor struct {
 	shape []int
 }
 
-// New creates a zero-filled tensor with the given shape.
+// New creates a zero-filled tensor with the given shape. It panics on
+// non-positive dimensions.
 func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
@@ -32,7 +33,9 @@ func New(shape ...int) *Tensor {
 	return &Tensor{Data: make([]float32, n), shape: append([]int(nil), shape...)}
 }
 
-// FromSlice wraps data (not copied) in a tensor with the given shape.
+// FromSlice wraps data (not copied) in a tensor with the given shape. It
+// panics if the shape's element count does not equal len(data); loaders
+// validating external input must check sizes first (see internal/serial).
 func FromSlice(data []float32, shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
@@ -73,6 +76,8 @@ func (t *Tensor) Set(v float32, idx ...int) {
 	t.Data[t.offset(idx)] = v
 }
 
+// offset panics when idx has the wrong arity or indexes out of range,
+// giving At/Set Go's slice-indexing contract.
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
 		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.shape)))
@@ -95,7 +100,7 @@ func (t *Tensor) Clone() *Tensor {
 }
 
 // Reshape returns a tensor sharing t's data with a new shape. The total
-// element count must match.
+// element count must match or Reshape panics.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
@@ -107,7 +112,8 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{Data: t.Data, shape: append([]int(nil), shape...)}
 }
 
-// Row returns a slice aliasing row r of a rank-2 tensor.
+// Row returns a slice aliasing row r of a rank-2 tensor; it panics on
+// other ranks.
 func (t *Tensor) Row(r int) []float32 {
 	if len(t.shape) != 2 {
 		panic("tensor: Row requires rank-2 tensor")
@@ -155,12 +161,15 @@ func XavierInit(rng *rand.Rand, fanIn, fanOut int, shape ...int) *Tensor {
 	return RandU(rng, -limit, limit, shape...)
 }
 
-// Equal reports whether a and b have identical shapes and elements.
+// Equal reports whether a and b have identical shapes and bit-identical
+// elements. This is the bit-exactness oracle the LUT-vs-GEMM equivalence
+// tests rely on; use AllClose for tolerance comparisons.
 func Equal(a, b *Tensor) bool {
 	if !sameShape(a.shape, b.shape) {
 		return false
 	}
 	for i := range a.Data {
+		//pimdl:lint-ignore float-compare bit-exact identity is this oracle's documented contract
 		if a.Data[i] != b.Data[i] {
 			return false
 		}
@@ -182,7 +191,7 @@ func AllClose(a, b *Tensor, tol float64) bool {
 }
 
 // MaxAbsDiff returns the largest absolute elementwise difference between a
-// and b, which must have the same shape.
+// and b, which must have the same shape (it panics otherwise).
 func MaxAbsDiff(a, b *Tensor) float64 {
 	if !sameShape(a.shape, b.shape) {
 		panic("tensor: MaxAbsDiff shape mismatch")

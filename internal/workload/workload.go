@@ -159,7 +159,6 @@ func HiddenDimModel(hidden, seqLen int) nn.Config {
 	}
 }
 
-
 // MixtureActivations draws rows from a shared set of prototype rows plus
 // Gaussian noise — the "block-wise semantic similarity" structure (paper
 // §3) that makes LUT-NN's centroid approximation work. Use it wherever a
