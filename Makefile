@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench vet fmt lint experiments examples clean
+.PHONY: all build test test-short test-race test-faults bench vet fmt lint experiments examples clean
 
 all: build vet lint test
 
@@ -32,6 +32,15 @@ test-short:
 # the simulator's goroutine fan-outs.
 test-race:
 	$(GO) test -race -short ./... -timeout 1200s
+
+# test-faults runs the fault-injection and graceful-degradation suite
+# under the race detector. The tests draw from a fixed seed matrix
+# (1, 2, 3, 5, 8, 13 — see internal/pim/faults_test.go) so recovery
+# counts are reproducible across runs and machines.
+test-faults:
+	$(GO) test -race ./internal/pim/ ./internal/serving/ ./internal/engine/ ./cmd/pimdl-sim/ \
+		-run 'Fault|Degraded|Robust|Flaky|Deadline|ZeroWait|Residual|Shrunken|RunPESet|Irrecoverable|Instantiate|ParseFlags' \
+		-timeout 600s
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX .

@@ -4,14 +4,18 @@
 // decomposition — the smallest end-to-end demonstration of the whole
 // stack (CCS → sub-LUT partition → micro kernel → gather).
 //
-// Usage:
+// The -fault-* flags inject hardware misbehaviour (dead PEs, transient
+// DMA bit flips, stragglers) and print the recovery report next to the
+// degraded timing:
 //
-//	pimdl-sim -platform upmem -n 512 -h 256 -f 512 -v 4 -ct 16
+//	pimdl-sim -platform upmem -n 512 -h 256 -f 512 -v 4 -ct 16 \
+//	    -fault-dead 0.3 -fault-flip 0.02 -fault-straggler 0.5 -fault-seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -22,67 +26,148 @@ import (
 	"repro/internal/tensor"
 )
 
-func main() {
-	platName := flag.String("platform", "upmem", "target platform: upmem, hbm-pim, aim")
-	n := flag.Int("n", 512, "activation rows")
-	h := flag.Int("h", 256, "hidden dim")
-	f := flag.Int("f", 512, "output features")
-	v := flag.Int("v", 4, "sub-vector length")
-	ct := flag.Int("ct", 16, "centroids per codebook")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+// simConfig is the validated flag set of one run.
+type simConfig struct {
+	platform       *pim.Platform
+	n, h, f, v, ct int
+	seed           int64
+	faults         pim.FaultPlan
+}
 
-	var plat *pim.Platform
+// parseFlags parses and validates args (without the program name),
+// turning every out-of-range value into a clear error instead of a
+// downstream panic.
+func parseFlags(args []string, stderr io.Writer) (*simConfig, error) {
+	fs := flag.NewFlagSet("pimdl-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	platName := fs.String("platform", "upmem", "target platform: upmem, hbm-pim, aim")
+	n := fs.Int("n", 512, "activation rows")
+	h := fs.Int("h", 256, "hidden dim")
+	f := fs.Int("f", 512, "output features")
+	v := fs.Int("v", 4, "sub-vector length")
+	ct := fs.Int("ct", 16, "centroids per codebook")
+	seed := fs.Int64("seed", 1, "random seed")
+	faultDead := fs.Float64("fault-dead", 0, "fraction of dead PEs [0,1)")
+	faultFlip := fs.Float64("fault-flip", 0, "per-transfer DMA corruption probability [0,1]")
+	faultStraggler := fs.Float64("fault-straggler", 0, "per-PE straggler slowdown spread (>= 0)")
+	faultSeed := fs.Int64("fault-seed", 1, "fault plan seed")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	cfg := &simConfig{
+		n: *n, h: *h, f: *f, v: *v, ct: *ct, seed: *seed,
+		faults: pim.FaultPlan{
+			Seed:            *faultSeed,
+			DeadPEFraction:  *faultDead,
+			FlipRate:        *faultFlip,
+			StragglerSpread: *faultStraggler,
+		},
+	}
 	switch *platName {
 	case "upmem":
-		plat = pim.UPMEM()
+		cfg.platform = pim.UPMEM()
 	case "hbm-pim", "hbmpim":
-		plat = pim.HBMPIM()
+		cfg.platform = pim.HBMPIM()
 	case "aim":
-		plat = pim.AiM()
+		cfg.platform = pim.AiM()
 	default:
-		fmt.Fprintf(os.Stderr, "pimdl-sim: unknown platform %q\n", *platName)
-		os.Exit(1)
+		return nil, fmt.Errorf("unknown platform %q (want upmem, hbm-pim or aim)", *platName)
 	}
+	for _, d := range []struct {
+		name string
+		val  int
+	}{{"-n", cfg.n}, {"-h", cfg.h}, {"-f", cfg.f}, {"-v", cfg.v}, {"-ct", cfg.ct}} {
+		if d.val <= 0 {
+			return nil, fmt.Errorf("%s must be positive, got %d", d.name, d.val)
+		}
+	}
+	if cfg.ct < 2 || cfg.ct > 256 {
+		return nil, fmt.Errorf("-ct must be in [2, 256] (indices are uint8), got %d", cfg.ct)
+	}
+	if cfg.h%cfg.v != 0 {
+		return nil, fmt.Errorf("-v %d must divide -h %d", cfg.v, cfg.h)
+	}
+	if err := cfg.faults.Validate(); err != nil {
+		return nil, fmt.Errorf("fault flags: %v", err)
+	}
+	return cfg, nil
+}
 
-	rng := rand.New(rand.NewSource(*seed))
-	acts := tensor.RandN(rng, 1, *n, *h)
-	weight := tensor.RandN(rng, 1, *f, *h)
+// printer latches the first write error so run can report it once at the
+// end instead of checking every Fprintf.
+type printer struct {
+	w   io.Writer
+	err error
+}
 
-	fmt.Printf("Converting %dx%d linear layer to LUT-NN (V=%d, CT=%d)...\n", *f, *h, *v, *ct)
-	layer, err := lutnn.Convert(weight, nil, acts, lutnn.Params{V: *v, CT: *ct}, *seed)
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func run(cfg *simConfig, out io.Writer) error {
+	stdout := &printer{w: out}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	acts := tensor.RandN(rng, 1, cfg.n, cfg.h)
+	weight := tensor.RandN(rng, 1, cfg.f, cfg.h)
+	plat := cfg.platform
+
+	stdout.printf("Converting %dx%d linear layer to LUT-NN (V=%d, CT=%d)...\n", cfg.f, cfg.h, cfg.v, cfg.ct)
+	layer, err := lutnn.Convert(weight, nil, acts, lutnn.Params{V: cfg.v, CT: cfg.ct}, cfg.seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimdl-sim:", err)
-		os.Exit(1)
+		return err
 	}
 
-	w := pim.Workload{N: *n, CB: *h / *v, CT: *ct, F: *f, ElemBytes: 4}
+	w := pim.Workload{N: cfg.n, CB: cfg.h / cfg.v, CT: cfg.ct, F: cfg.f, ElemBytes: 4}
 	tuned, err := autotuner.Tune(plat, w, mapping.SpaceConfig{MaxDivisors: 8})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimdl-sim:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("Auto-tuned mapping: %v (%d PEs, %d candidates)\n",
+	stdout.printf("Auto-tuned mapping: %v (%d PEs, %d candidates)\n",
 		tuned.Mapping, tuned.Mapping.PEs(w), tuned.Evaluated)
 
 	idx := layer.Codebooks.Search(acts)
-	res, err := pim.ExecuteLUT(plat, w, tuned.Mapping, idx, layer.Table)
+	res, err := pim.ExecuteLUTWithFaults(plat, w, tuned.Mapping, idx, layer.Table, cfg.faults)
+	if err != nil {
+		return err
+	}
+
+	ref := layer.Table.Lookup(idx, cfg.n)
+	exact := lutnn.ForwardExact(acts, weight, nil)
+	stdout.printf("\nFunctional check:\n")
+	stdout.printf("  distributed vs reference lookup: max |diff| = %.3g (must be ~0 after recovery)\n",
+		tensor.MaxAbsDiff(res.Output, ref))
+	stdout.printf("  LUT-NN vs exact GEMM:            rel. error = %.3f (centroid approximation)\n",
+		tensor.RelativeError(res.Output, exact))
+
+	if rec := res.Recovery; rec != nil {
+		stdout.printf("\nFault recovery (plan seed %d):\n", cfg.faults.Seed)
+		stdout.printf("  dead PEs (used set): %d | tiles re-dispatched: %d\n", rec.DeadPEs, rec.Redispatched)
+		stdout.printf("  DMA retries: %d | residual corrupted elements: %d\n", rec.Retries, rec.ResidualCorrupt)
+		stdout.printf("  worst straggler slowdown: %.2fx\n", rec.WorstSlowdown)
+		clean := pim.SimTiming(plat, w, tuned.Mapping)
+		stdout.printf("  degraded total %.4g s vs healthy %.4g s (%.2fx)\n",
+			res.Timing.Total(), clean.Total(), res.Timing.Total()/clean.Total())
+	}
+
+	tm := res.Timing
+	stdout.printf("\nModelled timing on %s:\n", plat.Name)
+	stdout.printf("  host: index %.3g s | LUT send %.3g s | output %.3g s\n", tm.HostIndex, tm.HostLUT, tm.HostOutput)
+	stdout.printf("  kernel: transfer %.3g s | reduce %.3g s\n", tm.KernelXfer, tm.KernelRed)
+	stdout.printf("  total: %.4g s across %d PEs\n", tm.Total(), res.PEs)
+	return stdout.err
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimdl-sim:", err)
 		os.Exit(1)
 	}
-
-	ref := layer.Table.Lookup(idx, *n)
-	exact := lutnn.ForwardExact(acts, weight, nil)
-	fmt.Printf("\nFunctional check:\n")
-	fmt.Printf("  distributed vs reference lookup: max |diff| = %.3g (must be ~0)\n",
-		tensor.MaxAbsDiff(res.Output, ref))
-	fmt.Printf("  LUT-NN vs exact GEMM:            rel. error = %.3f (centroid approximation)\n",
-		tensor.RelativeError(res.Output, exact))
-
-	tm := res.Timing
-	fmt.Printf("\nModelled timing on %s:\n", plat.Name)
-	fmt.Printf("  host: index %.3g s | LUT send %.3g s | output %.3g s\n", tm.HostIndex, tm.HostLUT, tm.HostOutput)
-	fmt.Printf("  kernel: transfer %.3g s | reduce %.3g s\n", tm.KernelXfer, tm.KernelRed)
-	fmt.Printf("  total: %.4g s across %d PEs\n", tm.Total(), res.PEs)
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimdl-sim:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseFlagsValidation: every out-of-range flag combination must be
+// rejected with a clear error before any simulation work starts, and
+// valid combinations must parse into a usable config.
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; empty means parse must succeed
+	}{
+		{"defaults", nil, ""},
+		{"all-flags", []string{"-platform", "aim", "-n", "64", "-h", "32", "-f", "64",
+			"-v", "4", "-ct", "8", "-fault-dead", "0.3", "-fault-flip", "0.1",
+			"-fault-straggler", "2", "-fault-seed", "9"}, ""},
+		{"hbmpim-alias", []string{"-platform", "hbmpim"}, ""},
+		{"negative-n", []string{"-n", "-4"}, "-n must be positive"},
+		{"zero-f", []string{"-f", "0"}, "-f must be positive"},
+		{"negative-h", []string{"-h", "-1"}, "-h must be positive"},
+		{"ct-too-large", []string{"-ct", "300"}, "[2, 256]"},
+		{"ct-too-small", []string{"-ct", "1"}, "[2, 256]"},
+		{"v-not-divisor", []string{"-h", "100", "-v", "3"}, "must divide"},
+		{"unknown-platform", []string{"-platform", "tpu"}, "unknown platform"},
+		{"dead-fraction-one", []string{"-fault-dead", "1"}, "fault flags"},
+		{"negative-flip", []string{"-fault-flip", "-0.1"}, "fault flags"},
+		{"flip-above-one", []string{"-fault-flip", "1.5"}, "fault flags"},
+		{"negative-straggler", []string{"-fault-straggler", "-2"}, "fault flags"},
+		{"unparseable", []string{"-n", "lots"}, "invalid value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cfg, err := parseFlags(tc.args, &stderr)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseFlags(%v) = %v", tc.args, err)
+				}
+				if cfg.platform == nil || cfg.n <= 0 {
+					t.Fatalf("config not populated: %+v", cfg)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseFlags(%v) accepted invalid flags: %+v", tc.args, cfg)
+			}
+			if !strings.Contains(err.Error()+stderr.String(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunWithFaultsEndToEnd drives the full CLI path (convert, tune,
+// faulty execute, report) on a small shape and checks the recovery
+// section appears exactly when faults are requested.
+func TestRunWithFaultsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes a mapping space")
+	}
+	base := []string{"-n", "64", "-h", "32", "-f", "64", "-v", "4", "-ct", "8"}
+	cfg, err := parseFlags(base, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Fault recovery") {
+		t.Fatal("clean run printed a recovery section")
+	}
+	if !strings.Contains(out.String(), "max |diff| = 0") {
+		t.Fatalf("clean run not bit-exact:\n%s", out.String())
+	}
+
+	cfg, err = parseFlags(append(base, "-fault-dead", "0.4", "-fault-flip", "0.05", "-fault-seed", "3"), new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Fault recovery (plan seed 3)", "dead PEs", "DMA retries", "max |diff| = 0"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("faulty run output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/pim"
+)
+
+// This file estimates end-to-end latency under hardware misbehaviour: the
+// graceful-degradation story for the serving stack. A pim.FaultPlan is
+// applied to the platform; LUT operators whose tuned mapping still fits
+// the surviving array run degraded (re-dispatch rounds, stragglers, DMA
+// retry inflation — pim.SimTimingWithFaults), and irrecoverable ones fall
+// back to plain host GEMM through the same model EstimateHost uses, so
+// the serving simulator always has a finite latency to quote.
+
+// DegradedReport is the engine's estimate for one configuration under a
+// fault plan.
+type DegradedReport struct {
+	Report
+	Plan pim.FaultPlan
+	// HealthyPEs is the number of live PEs the plan leaves.
+	HealthyPEs int
+	// FallbackOps counts LUT operators that fell back to host GEMM
+	// because the array could no longer host their mapping.
+	FallbackOps int
+}
+
+// EstimateDegraded produces the PIM-DL report under a fault plan. A zero
+// plan reproduces EstimatePIMDL exactly. Mappings are tuned for the
+// healthy array (tuning happens at model-load time, before faults
+// accumulate) and then evaluated against the degraded one.
+func (e *Engine) EstimateDegraded(cfg Config, plan pim.FaultPlan) (*DegradedReport, error) {
+	if plan.IsZero() {
+		rep, err := e.EstimatePIMDL(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DegradedReport{Report: *rep, Plan: plan, HealthyPEs: cfg.Platform.NumPE}, nil
+	}
+	af, err := plan.Instantiate(cfg.Platform.NumPE)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	c := cfg.Model
+	n := cfg.rows()
+	rep := &DegradedReport{
+		Report:     Report{Config: fmt.Sprintf("PIM-DL/%s/degraded", cfg.Platform.Name), Batch: cfg.Batch, SeqLen: c.SeqLen},
+		Plan:       plan,
+		HealthyPEs: af.Healthy(),
+	}
+	// Elementwise work runs on whatever survives of the array; with no
+	// survivors the whole model runs on the host.
+	pimAlive := rep.HealthyPEs > 0
+	degradedPlat := *cfg.Platform
+	degradedPlat.NumPE = rep.HealthyPEs
+
+	for layer := 0; layer < c.Layers; layer++ {
+		for _, role := range nn.Roles {
+			f, h := c.LinearShape(role)
+			if h%cfg.Params.V != 0 {
+				return nil, fmt.Errorf("engine: V=%d does not divide %d (%v)", cfg.Params.V, h, role)
+			}
+			w := pim.Workload{N: n, CB: h / cfg.Params.V, CT: cfg.Params.CT, F: f, ElemBytes: cfg.LUTElemBytes}
+			fallback := !pimAlive
+			var lutTime float64
+			var rec pim.Recovery
+			if pimAlive {
+				tuned, err := e.TunedMapping(cfg.Platform, w, cfg.Space)
+				if err != nil {
+					return nil, err
+				}
+				dt, err := pim.SimTimingWithFaults(cfg.Platform, w, tuned.Mapping, plan)
+				switch {
+				case errors.Is(err, pim.ErrIrrecoverable):
+					fallback = true
+				case err != nil:
+					return nil, fmt.Errorf("engine: degraded timing for %v: %w", role, err)
+				default:
+					lutTime = dt.Total() - dt.HostLUT
+					if rec, err = pim.PlanRecovery(cfg.Platform, w, tuned.Mapping, plan); err != nil {
+						return nil, fmt.Errorf("engine: recovery for %v: %w", role, err)
+					}
+				}
+			}
+			if fallback {
+				t := cfg.Host.GEMMTime(n, h, f, cfg.HostPrec)
+				rep.Ops = append(rep.Ops, OpCost{Name: "GEMM-" + role.String() + "-fallback",
+					Class: ClassOther, Layer: layer, Role: role, Time: t, Fallback: true})
+				rep.HostTime += t
+				rep.FallbackOps++
+				continue
+			}
+			ccs := cfg.Host.CCSTime(n, h, cfg.Params.CT, cfg.HostPrec)
+			recCopy := rec
+			rep.Ops = append(rep.Ops,
+				OpCost{Name: "CCS-" + role.String(), Class: ClassCCS, Layer: layer, Role: role, Time: ccs},
+				OpCost{Name: "LUT-" + role.String(), Class: ClassLUT, Layer: layer, Role: role,
+					Time: lutTime, OnPIM: true, Recovery: &recCopy},
+			)
+			rep.HostTime += ccs
+			rep.PIMTime += lutTime
+		}
+		att := cfg.Host.AttentionTime(cfg.Batch, c.SeqLen, c.Hidden, c.Heads, cfg.HostPrec)
+		elems := 4*n*c.Hidden + n*c.FFN
+		// Elementwise runs on whichever side the degradation leaves
+		// faster: a nearly-dead array loses its aggregate-bandwidth edge
+		// and the host takes the work back.
+		elemHost := cfg.Host.ElementwiseTime(elems)
+		elem, onPIM := elemHost, false
+		if pimAlive {
+			if elemPIM := pim.ElementwiseOnPIM(&degradedPlat, elems); elemPIM < elemHost {
+				elem, onPIM = elemPIM, true
+			}
+		}
+		rep.Ops = append(rep.Ops,
+			OpCost{Name: "Attention", Class: ClassOther, Layer: layer, Time: att},
+			OpCost{Name: "Elementwise", Class: ClassOther, Layer: layer, Time: elem, OnPIM: onPIM},
+		)
+		rep.HostTime += att
+		if onPIM {
+			rep.PIMTime += elem
+		} else {
+			rep.HostTime += elem
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/pim"
+)
+
+func TestDegradedZeroPlanMatchesPIMDL(t *testing.T) {
+	e := New()
+	cfg := bertBaseCfg()
+	cfg.Model.Layers = 1
+	healthy, err := e.EstimatePIMDL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := e.EstimateDegraded(cfg, pim.FaultPlan{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Total() != healthy.Total() {
+		t.Fatalf("zero plan changed the estimate: %g vs %g", deg.Total(), healthy.Total())
+	}
+	if deg.FallbackOps != 0 || deg.HealthyPEs != cfg.Platform.NumPE {
+		t.Fatalf("zero plan degraded state: %+v", deg)
+	}
+}
+
+// TestDegradedStragglersSlowTheArray: a straggler-only plan keeps every
+// PE alive (no fallback), attaches Recovery reports to the LUT operators,
+// and strictly inflates the estimate.
+func TestDegradedStragglersSlowTheArray(t *testing.T) {
+	e := New()
+	cfg := bertBaseCfg()
+	cfg.Model.Layers = 1
+	healthy, err := e.EstimatePIMDL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := e.EstimateDegraded(cfg, pim.FaultPlan{Seed: 4, StragglerSpread: 1, FlipRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.FallbackOps != 0 {
+		t.Fatalf("straggler-only plan forced %d fallbacks", deg.FallbackOps)
+	}
+	if deg.Total() <= healthy.Total() {
+		t.Fatalf("degraded estimate not slower: %g vs %g", deg.Total(), healthy.Total())
+	}
+	nLUT := 0
+	for _, op := range deg.Ops {
+		if op.Class == ClassLUT {
+			nLUT++
+			if op.Recovery == nil || op.Recovery.WorstSlowdown <= 1 {
+				t.Fatalf("LUT op %s missing straggler recovery: %+v", op.Name, op.Recovery)
+			}
+		}
+	}
+	if nLUT == 0 {
+		t.Fatal("no LUT ops in degraded report")
+	}
+}
+
+// TestDegradedFallsBackToHostGEMM: a plan that kills nearly the whole
+// array makes every LUT mapping irrecoverable; the engine must quote the
+// host-GEMM path instead of failing.
+func TestDegradedFallsBackToHostGEMM(t *testing.T) {
+	e := New()
+	cfg := bertBaseCfg()
+	cfg.Model.Layers = 1
+	deg, err := e.EstimateDegraded(cfg, pim.FaultPlan{Seed: 5, DeadPEFraction: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.FallbackOps == 0 {
+		t.Fatal("near-total array loss produced no fallbacks")
+	}
+	if deg.HealthyPEs >= cfg.Platform.NumPE/2 {
+		t.Fatalf("healthy %d of %d", deg.HealthyPEs, cfg.Platform.NumPE)
+	}
+	for _, op := range deg.Ops {
+		if op.Fallback {
+			if op.OnPIM || op.Time <= 0 {
+				t.Fatalf("fallback op malformed: %+v", op)
+			}
+		}
+		if op.Class == ClassLUT || op.Class == ClassCCS {
+			t.Fatalf("irrecoverable role still scheduled as %v", op.Class)
+		}
+	}
+	if deg.Total() <= 0 {
+		t.Fatal("degraded total not positive")
+	}
+	// The fallback estimate must track the host estimate for the same
+	// linear layers — it uses the same GEMM model.
+	host := e.EstimateHost(cfg)
+	if deg.Total() > 2*host.Total() {
+		t.Fatalf("fallback estimate %g wildly above host %g", deg.Total(), host.Total())
+	}
+}
+
+// TestDegradedDeterministic: the same plan yields the same estimate.
+func TestDegradedDeterministic(t *testing.T) {
+	e := New()
+	cfg := bertBaseCfg()
+	cfg.Model.Layers = 1
+	plan := pim.FaultPlan{Seed: 6, DeadPEFraction: 0.25, FlipRate: 0.02, StragglerSpread: 0.5}
+	a, err := e.EstimateDegraded(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.EstimateDegraded(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != b.Total() || a.FallbackOps != b.FallbackOps {
+		t.Fatal("degraded estimate not deterministic")
+	}
+}

@@ -53,6 +53,12 @@ type OpCost struct {
 	Role  nn.LinearRole // valid for linear-derived ops
 	Time  float64
 	OnPIM bool
+	// Recovery carries the fault-tolerance activity of a degraded LUT
+	// operator (EstimateDegraded only; nil otherwise).
+	Recovery *pim.Recovery
+	// Fallback marks a LUT operator that was irrecoverable on the faulty
+	// array and ran as host GEMM instead.
+	Fallback bool
 }
 
 // Report is the engine's end-to-end estimate for one configuration.

@@ -50,6 +50,9 @@ type Result struct {
 	Events Events
 	Timing Timing
 	PEs    int
+	// Recovery reports the fault-tolerance activity of the run. It is nil
+	// for executions without a fault plan (or with a zero plan).
+	Recovery *Recovery
 }
 
 // countEvents derives the per-PE event counts for mapping m on workload w.
@@ -209,67 +212,83 @@ func SimEvents(p *Platform, w Workload, m Mapping) Events {
 // FP32 tables and returns the output plus modelled timing. idx is the
 // N×CB index matrix from CCS.
 func ExecuteLUT(p *Platform, w Workload, m Mapping, idx []uint8, tbl *lutnn.LUT) (*Result, error) {
+	return ExecuteLUTWithFaults(p, w, m, idx, tbl, FaultPlan{})
+}
+
+// ExecuteLUTWithFaults runs the FP32 operator under a fault plan: dead
+// PEs hand their tiles to healthy ones, corrupted DMA transfers are
+// retried against checksums, and surviving corruption really lands in the
+// output data. A zero plan is byte-identical to ExecuteLUT.
+func ExecuteLUTWithFaults(p *Platform, w Workload, m Mapping, idx []uint8, tbl *lutnn.LUT, plan FaultPlan) (*Result, error) {
 	if err := checkShapes(w, m, idx, tbl.CB, tbl.CT, tbl.F); err != nil {
 		return nil, err
 	}
-	out := tensor.New(w.N, w.F)
-	runPEs(w, m, func(rowLo, rowHi, colLo, colHi int) {
-		for r := rowLo; r < rowHi; r++ {
-			dst := out.Row(r)[colLo:colHi]
+	return executeTiles(p, w, m, idx, plan, func(t tile, idxTile []uint8, out *tensor.Tensor) {
+		for r := t.rowLo; r < t.rowHi; r++ {
+			dst := out.Row(r)[t.colLo:t.colHi]
+			row := idxTile[(r-t.rowLo)*w.CB:]
 			for cb := 0; cb < w.CB; cb++ {
-				src := tbl.Slice(cb, int(idx[r*w.CB+cb]))[colLo:colHi]
+				src := tbl.Slice(cb, int(row[cb]))[t.colLo:t.colHi]
 				for f, v := range src {
 					dst[f] += v
 				}
 			}
 		}
 	})
-	ev := countEvents(p, w, m)
-	return &Result{Output: out, Events: ev, Timing: timing(p, w, m, ev), PEs: m.PEs(w)}, nil
 }
 
 // ExecuteLUTInt8 runs the operator with INT8 tables, accumulating in int32
 // per PE exactly as the UPMEM kernel would, and rescaling once at the end.
 func ExecuteLUTInt8(p *Platform, w Workload, m Mapping, idx []uint8, tbl *lutnn.QuantizedLUT) (*Result, error) {
+	return ExecuteLUTInt8WithFaults(p, w, m, idx, tbl, FaultPlan{})
+}
+
+// ExecuteLUTInt8WithFaults is ExecuteLUTInt8 under a fault plan (see
+// ExecuteLUTWithFaults).
+func ExecuteLUTInt8WithFaults(p *Platform, w Workload, m Mapping, idx []uint8, tbl *lutnn.QuantizedLUT, plan FaultPlan) (*Result, error) {
 	if err := checkShapes(w, m, idx, tbl.CB, tbl.CT, tbl.F); err != nil {
 		return nil, err
 	}
-	out := tensor.New(w.N, w.F)
-	runPEs(w, m, func(rowLo, rowHi, colLo, colHi int) {
-		acc := make([]int32, colHi-colLo)
-		for r := rowLo; r < rowHi; r++ {
+	return executeTiles(p, w, m, idx, plan, func(t tile, idxTile []uint8, out *tensor.Tensor) {
+		acc := make([]int32, t.cols())
+		for r := t.rowLo; r < t.rowHi; r++ {
 			for f := range acc {
 				acc[f] = 0
 			}
+			row := idxTile[(r-t.rowLo)*w.CB:]
 			for cb := 0; cb < w.CB; cb++ {
-				src := tbl.Slice(cb, int(idx[r*w.CB+cb]))[colLo:colHi]
+				src := tbl.Slice(cb, int(row[cb]))[t.colLo:t.colHi]
 				for f, v := range src {
 					acc[f] += int32(v)
 				}
 			}
-			dst := out.Row(r)[colLo:colHi]
+			dst := out.Row(r)[t.colLo:t.colHi]
 			for f, v := range acc {
 				dst[f] = float32(v) * tbl.Scale
 			}
 		}
 	})
-	ev := countEvents(p, w, m)
-	return &Result{Output: out, Events: ev, Timing: timing(p, w, m, ev), PEs: m.PEs(w)}, nil
 }
 
 // ExecuteLUTHalf runs the operator with 16-bit tables (FP16 on HBM-PIM,
 // BF16 on AiM), accumulating in float32 as the platforms' wide MAC
 // accumulators do.
 func ExecuteLUTHalf(p *Platform, w Workload, m Mapping, idx []uint8, tbl *lutnn.HalfLUT) (*Result, error) {
+	return ExecuteLUTHalfWithFaults(p, w, m, idx, tbl, FaultPlan{})
+}
+
+// ExecuteLUTHalfWithFaults is ExecuteLUTHalf under a fault plan (see
+// ExecuteLUTWithFaults).
+func ExecuteLUTHalfWithFaults(p *Platform, w Workload, m Mapping, idx []uint8, tbl *lutnn.HalfLUT, plan FaultPlan) (*Result, error) {
 	if err := checkShapes(w, m, idx, tbl.CB, tbl.CT, tbl.F); err != nil {
 		return nil, err
 	}
-	out := tensor.New(w.N, w.F)
-	runPEs(w, m, func(rowLo, rowHi, colLo, colHi int) {
-		for r := rowLo; r < rowHi; r++ {
-			dst := out.Row(r)[colLo:colHi]
+	return executeTiles(p, w, m, idx, plan, func(t tile, idxTile []uint8, out *tensor.Tensor) {
+		for r := t.rowLo; r < t.rowHi; r++ {
+			dst := out.Row(r)[t.colLo:t.colHi]
+			row := idxTile[(r-t.rowLo)*w.CB:]
 			for cb := 0; cb < w.CB; cb++ {
-				src := tbl.Slice(cb, int(idx[r*w.CB+cb]))[colLo:colHi]
+				src := tbl.Slice(cb, int(row[cb]))[t.colLo:t.colHi]
 				if tbl.BF {
 					for f, v := range src {
 						dst[f] += tensor.BFloat16(v).Float32()
@@ -282,8 +301,6 @@ func ExecuteLUTHalf(p *Platform, w Workload, m Mapping, idx []uint8, tbl *lutnn.
 			}
 		}
 	})
-	ev := countEvents(p, w, m)
-	return &Result{Output: out, Events: ev, Timing: timing(p, w, m, ev), PEs: m.PEs(w)}, nil
 }
 
 func checkShapes(w Workload, m Mapping, idx []uint8, cb, ct, f int) error {

@@ -1,0 +1,453 @@
+package pim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// This file implements the fault-injection and fault-tolerance layer of
+// the simulator. Real UPMEM deployments routinely run with disabled DPUs
+// and straggler PEs (Gómez-Luna et al. report ~2.5k of 2560 DPUs usable on
+// production systems), and DMA transfers are protected by checksums rather
+// than assumed clean. The layer models three fault classes:
+//
+//   - dead PEs: a seeded fraction of the array never executes; their tiles
+//     are re-dispatched onto healthy PEs (extra serial rounds),
+//   - transient DMA corruption: each of the three per-tile transfers
+//     (index in, LUT in, output out) flips with probability FlipRate;
+//     checksum verification catches the flip and retries the transfer up
+//     to MaxTransferRetries times before letting the corruption through,
+//   - stragglers: each PE gets a deterministic slowdown factor in
+//     [1, 1+StragglerSpread] that scales the worst-PE kernel terms of the
+//     Eq. 6 timing model.
+//
+// Everything is deterministic for a fixed FaultPlan: dead-PE choice and
+// slowdowns derive from the plan seed, and every PE draws transfer
+// outcomes from its own seeded stream, so results do not depend on
+// goroutine scheduling. A second, independent per-PE stream drives the
+// *content* of a corruption (which byte, which bit), so the analytic
+// PlanRecovery path — which never touches data — replays the exact same
+// outcome draws as the functional executors and reports identical counts.
+
+// MaxTransferRetries bounds how often a checksum-failed DMA transfer is
+// re-issued before the corrupted data is used anyway.
+const MaxTransferRetries = 3
+
+// ErrIrrecoverable reports that a fault plan kills so many PEs that the
+// mapping no longer fits the surviving array; callers (the engine) fall
+// back to host execution.
+var ErrIrrecoverable = errors.New("pim: fault plan irrecoverable for mapping")
+
+// FaultPlan is a seeded, deterministic description of array misbehaviour.
+// The zero value is the healthy array: injection is a no-op and the
+// executors produce byte-identical results to the fault-free code path.
+type FaultPlan struct {
+	// Seed drives every random choice the plan makes (dead-PE selection,
+	// slowdown factors, per-PE transfer outcomes).
+	Seed int64
+	// DeadPEFraction of the physical array never executes ([0, 1)).
+	DeadPEFraction float64
+	// FlipRate is the per-transfer probability that a DMA transfer
+	// arrives corrupted ([0, 1]). Applies independently to the index-in,
+	// LUT-in and output-out transfer of every executed tile.
+	FlipRate float64
+	// StragglerSpread stretches per-PE speed: each PE's kernel time is
+	// scaled by a factor drawn uniformly from [1, 1+StragglerSpread].
+	StragglerSpread float64
+}
+
+// IsZero reports whether the plan injects nothing.
+func (fp FaultPlan) IsZero() bool {
+	return fp.DeadPEFraction <= 0 && fp.FlipRate <= 0 && fp.StragglerSpread <= 0
+}
+
+// Validate checks the plan's parameter ranges.
+func (fp FaultPlan) Validate() error {
+	if fp.DeadPEFraction < 0 || fp.DeadPEFraction >= 1 {
+		return fmt.Errorf("pim: DeadPEFraction %g outside [0,1)", fp.DeadPEFraction)
+	}
+	if fp.FlipRate < 0 || fp.FlipRate > 1 {
+		return fmt.Errorf("pim: FlipRate %g outside [0,1]", fp.FlipRate)
+	}
+	if fp.StragglerSpread < 0 {
+		return fmt.Errorf("pim: StragglerSpread %g negative", fp.StragglerSpread)
+	}
+	return nil
+}
+
+// Recovery reports what the fault-tolerance machinery did during one
+// operator execution. For a fixed plan, workload and mapping the counts
+// are deterministic, and the analytic PlanRecovery path reproduces the
+// functional executors' counts exactly.
+type Recovery struct {
+	// DeadPEs is the number of dead PEs among those the mapping uses.
+	DeadPEs int
+	// Redispatched is the number of tiles re-run on healthy PEs.
+	Redispatched int
+	// Retries is the number of checksum-failed DMA transfers re-issued.
+	Retries int
+	// ResidualCorrupt is the number of output elements that may still be
+	// corrupted after the retry budget was exhausted (0 means the output
+	// is bit-exact with the fault-free result).
+	ResidualCorrupt int
+	// WorstSlowdown is the largest straggler factor among loaded PEs.
+	WorstSlowdown float64
+}
+
+// ArrayFaults is a FaultPlan instantiated over a concrete physical array:
+// the per-PE dead flags and slowdown factors every execution under this
+// plan shares.
+type ArrayFaults struct {
+	Plan     FaultPlan
+	Dead     []bool    // per physical PE
+	Slowdown []float64 // per physical PE, ≥ 1
+}
+
+// Instantiate derives the deterministic per-PE fault state for an array
+// of numPE physical PEs.
+func (fp FaultPlan) Instantiate(numPE int) (*ArrayFaults, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, err
+	}
+	if numPE <= 0 {
+		return nil, fmt.Errorf("pim: instantiating fault plan over %d PEs", numPE)
+	}
+	af := &ArrayFaults{
+		Plan:     fp,
+		Dead:     make([]bool, numPE),
+		Slowdown: make([]float64, numPE),
+	}
+	rng := rand.New(rand.NewSource(fp.Seed))
+	nDead := int(fp.DeadPEFraction * float64(numPE))
+	for _, pe := range rng.Perm(numPE)[:nDead] {
+		af.Dead[pe] = true
+	}
+	for pe := range af.Slowdown {
+		af.Slowdown[pe] = 1 + fp.StragglerSpread*rng.Float64()
+	}
+	return af, nil
+}
+
+// Healthy returns the number of live PEs.
+func (af *ArrayFaults) Healthy() int {
+	n := 0
+	for _, d := range af.Dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// outcomeRNG returns the per-PE stream deciding transfer fates. It is
+// separate from dataRNG so the analytic recovery path, which never draws
+// corruption content, stays in lockstep with the functional executors.
+func (af *ArrayFaults) outcomeRNG(pe int) *rand.Rand {
+	return rand.New(rand.NewSource(af.Plan.Seed*6364136223846793005 + int64(pe)*1442695040888963407 + 1))
+}
+
+// dataRNG returns the per-PE stream deciding corruption content (which
+// byte or bit a surviving flip lands on).
+func (af *ArrayFaults) dataRNG(pe int) *rand.Rand {
+	return rand.New(rand.NewSource(af.Plan.Seed*2862933555777941757 + int64(pe)*3037000493 + 2))
+}
+
+// transferOutcome draws the fate of one checksummed DMA transfer:
+// how many retries the checksum forced, and whether the retry budget ran
+// out so corrupted data went through.
+func (af *ArrayFaults) transferOutcome(rng *rand.Rand) (retries int, residual bool) {
+	if af.Plan.FlipRate <= 0 {
+		return 0, false
+	}
+	for attempt := 0; attempt <= MaxTransferRetries; attempt++ {
+		if rng.Float64() >= af.Plan.FlipRate {
+			return retries, false
+		}
+		if attempt < MaxTransferRetries {
+			retries++
+		}
+	}
+	return retries, true
+}
+
+// tile is one PE's output region under the sub-LUT partition.
+type tile struct {
+	rowLo, rowHi, colLo, colHi int
+}
+
+func (t tile) rows() int { return t.rowHi - t.rowLo }
+func (t tile) cols() int { return t.colHi - t.colLo }
+
+// tileList enumerates the partition's tiles in logical-PE order
+// (group-major, matching PE id = group·PEsPerGroup + j).
+func tileList(w Workload, m Mapping) []tile {
+	groups := w.N / m.NsTile
+	perGroup := w.F / m.FsTile
+	tiles := make([]tile, 0, groups*perGroup)
+	for g := 0; g < groups; g++ {
+		for j := 0; j < perGroup; j++ {
+			tiles = append(tiles, tile{
+				rowLo: g * m.NsTile, rowHi: (g + 1) * m.NsTile,
+				colLo: j * m.FsTile, colHi: (j + 1) * m.FsTile,
+			})
+		}
+	}
+	return tiles
+}
+
+// assign distributes the mapping's tiles over the physical array: logical
+// PE i runs on physical PE i, and tiles owned by dead PEs are
+// re-dispatched round-robin over all healthy PEs (the shrunken-array
+// re-run). The degraded mapping is re-validated for legality on the
+// surviving array; an over-committed plan returns ErrIrrecoverable.
+func (af *ArrayFaults) assign(p *Platform, w Workload, m Mapping) ([][]tile, error) {
+	degraded := *p
+	degraded.NumPE = af.Healthy()
+	if err := m.Validate(&degraded, w); err != nil {
+		return nil, fmt.Errorf("%w: %d/%d PEs healthy: %v", ErrIrrecoverable, degraded.NumPE, p.NumPE, err)
+	}
+	assign := make([][]tile, len(af.Dead))
+	var healthy []int
+	for pe, d := range af.Dead {
+		if !d {
+			healthy = append(healthy, pe)
+		}
+	}
+	var orphans []tile
+	for i, t := range tileList(w, m) {
+		if i < len(af.Dead) && af.Dead[i] {
+			orphans = append(orphans, t)
+		} else {
+			assign[i] = append(assign[i], t)
+		}
+	}
+	for k, t := range orphans {
+		pe := healthy[k%len(healthy)]
+		assign[pe] = append(assign[pe], t)
+	}
+	return assign, nil
+}
+
+// usedStats returns the largest per-PE tile count and the worst straggler
+// factor among loaded PEs — the terms that stretch the Eq. 6 worst-PE
+// kernel time under the plan.
+func (af *ArrayFaults) usedStats(assign [][]tile) (maxTiles int, worst float64) {
+	worst = 1
+	for pe, tiles := range assign {
+		if len(tiles) == 0 {
+			continue
+		}
+		if len(tiles) > maxTiles {
+			maxTiles = len(tiles)
+		}
+		if af.Slowdown[pe] > worst {
+			worst = af.Slowdown[pe]
+		}
+	}
+	if maxTiles < 1 {
+		maxTiles = 1
+	}
+	return maxTiles, worst
+}
+
+// faultTiming perturbs the healthy-array timing model with the plan's
+// effects: re-dispatch rounds and straggler factors multiply the worst-PE
+// kernel terms (Eq. 6), and the expected retry fraction inflates every
+// checksummed transfer path (Eq. 4 host transfers, bank↔buffer traffic).
+func faultTiming(p *Platform, w Workload, m Mapping, ev Events, af *ArrayFaults, assign [][]tile) Timing {
+	t := timing(p, w, m, ev)
+	maxTiles, worst := af.usedStats(assign)
+	rounds := float64(maxTiles) * worst
+	infl := 1 + af.Plan.FlipRate
+	t.KernelXfer *= rounds * infl
+	t.KernelRed *= rounds
+	t.HostIndex *= infl
+	t.HostLUT *= infl
+	t.HostOutput *= infl
+	return t
+}
+
+// SimTimingWithFaults returns the timing model under a fault plan without
+// running the functional kernel. A zero plan reproduces SimTiming exactly.
+func SimTimingWithFaults(p *Platform, w Workload, m Mapping, plan FaultPlan) (Timing, error) {
+	if plan.IsZero() {
+		return SimTiming(p, w, m), nil
+	}
+	af, err := plan.Instantiate(p.NumPE)
+	if err != nil {
+		return Timing{}, err
+	}
+	assign, err := af.assign(p, w, m)
+	if err != nil {
+		return Timing{}, err
+	}
+	return faultTiming(p, w, m, countEvents(p, w, m), af, assign), nil
+}
+
+// PlanRecovery predicts, without executing, the Recovery report a
+// functional execution of (w, m) under the plan produces. It replays the
+// same per-PE outcome streams the executors use, so the counts match
+// ExecuteLUT*WithFaults exactly for the same plan.
+func PlanRecovery(p *Platform, w Workload, m Mapping, plan FaultPlan) (Recovery, error) {
+	if plan.IsZero() {
+		return Recovery{WorstSlowdown: 1}, nil
+	}
+	af, err := plan.Instantiate(p.NumPE)
+	if err != nil {
+		return Recovery{}, err
+	}
+	assign, err := af.assign(p, w, m)
+	if err != nil {
+		return Recovery{}, err
+	}
+	rec := af.baseRecovery(w, m, assign)
+	for pe, tiles := range assign {
+		if len(tiles) == 0 {
+			continue
+		}
+		rngO := af.outcomeRNG(pe)
+		for _, t := range tiles {
+			// Same draw sequence as executeTiles: index-in, then LUT-in
+			// and output-out.
+			retries, residual := af.transferOutcome(rngO)
+			rec.Retries += retries
+			if residual {
+				rec.ResidualCorrupt += t.cols()
+			}
+			for i := 0; i < 2; i++ {
+				retries, residual = af.transferOutcome(rngO)
+				rec.Retries += retries
+				if residual {
+					rec.ResidualCorrupt++
+				}
+			}
+		}
+	}
+	return rec, nil
+}
+
+// baseRecovery fills the plan-level (data-independent) Recovery fields.
+func (af *ArrayFaults) baseRecovery(w Workload, m Mapping, assign [][]tile) Recovery {
+	rec := Recovery{}
+	used := m.PEs(w)
+	for pe := 0; pe < used && pe < len(af.Dead); pe++ {
+		if af.Dead[pe] {
+			rec.DeadPEs++
+		}
+	}
+	rec.Redispatched = rec.DeadPEs
+	_, rec.WorstSlowdown = af.usedStats(assign)
+	return rec
+}
+
+// corruptIndexTile flips one bit of one entry in a PE's private index
+// copy, clamped back into the legal centroid range (hardware would fetch
+// a wrong-but-existing table row).
+func corruptIndexTile(rngD *rand.Rand, idxTile []uint8, ct int) {
+	i := rngD.Intn(len(idxTile))
+	bit := rngD.Intn(8)
+	idxTile[i] = uint8((int(idxTile[i]) ^ (1 << bit)) % ct)
+}
+
+// corruptOutputElem flips one bit of one float32 element inside the
+// tile's output region.
+func corruptOutputElem(rngD *rand.Rand, out *tensor.Tensor, t tile) {
+	r := t.rowLo + rngD.Intn(t.rows())
+	f := t.colLo + rngD.Intn(t.cols())
+	row := out.Row(r)
+	row[f] = math.Float32frombits(math.Float32bits(row[f]) ^ (1 << uint(rngD.Intn(32))))
+}
+
+// tileKernel computes one PE tile. idxTile is the PE's private view of the
+// index rows [rowLo, rowHi) — the fault layer may hand a corrupted copy.
+type tileKernel func(t tile, idxTile []uint8, out *tensor.Tensor)
+
+// executeTiles runs the kernel over the partition under the plan and
+// returns the output, the degraded timing and the recovery report. The
+// zero plan takes the original lock-step path (zero-copy index views, no
+// RNG) and returns a nil Recovery.
+func executeTiles(p *Platform, w Workload, m Mapping, idx []uint8, plan FaultPlan, kernel tileKernel) (*Result, error) {
+	out := tensor.New(w.N, w.F)
+	ev := countEvents(p, w, m)
+	if plan.IsZero() {
+		runPEs(w, m, func(rowLo, rowHi, colLo, colHi int) {
+			t := tile{rowLo, rowHi, colLo, colHi}
+			kernel(t, idx[rowLo*w.CB:rowHi*w.CB], out)
+		})
+		return &Result{Output: out, Events: ev, Timing: timing(p, w, m, ev), PEs: m.PEs(w)}, nil
+	}
+	af, err := plan.Instantiate(p.NumPE)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := af.assign(p, w, m)
+	if err != nil {
+		return nil, err
+	}
+	perPE := make([]Recovery, len(assign))
+	runPESet(assign, func(pe int, tiles []tile) {
+		rngO := af.outcomeRNG(pe)
+		rngD := af.dataRNG(pe)
+		for _, t := range tiles {
+			// Index-in transfer: a surviving flip rewrites one entry of
+			// the PE's private index copy (never the caller's matrix),
+			// tainting the whole affected output row segment.
+			idxTile := idx[t.rowLo*w.CB : t.rowHi*w.CB]
+			retries, residual := af.transferOutcome(rngO)
+			perPE[pe].Retries += retries
+			if residual {
+				c := append([]uint8(nil), idxTile...)
+				corruptIndexTile(rngD, c, w.CT)
+				idxTile = c
+				perPE[pe].ResidualCorrupt += t.cols()
+			}
+			kernel(t, idxTile, out)
+			// LUT-in and output-out transfers: a surviving flip lands on
+			// one element of the finished tile output.
+			for i := 0; i < 2; i++ {
+				retries, residual = af.transferOutcome(rngO)
+				perPE[pe].Retries += retries
+				if residual {
+					corruptOutputElem(rngD, out, t)
+					perPE[pe].ResidualCorrupt++
+				}
+			}
+		}
+	})
+	rec := af.baseRecovery(w, m, assign)
+	for _, r := range perPE {
+		rec.Retries += r.Retries
+		rec.ResidualCorrupt += r.ResidualCorrupt
+	}
+	return &Result{
+		Output:   out,
+		Events:   ev,
+		Timing:   faultTiming(p, w, m, ev, af, assign),
+		PEs:      m.PEs(w),
+		Recovery: &rec,
+	}, nil
+}
+
+// runPESet executes fn once per physical PE that has work, fanning out
+// across goroutines; each PE processes its (possibly non-uniform) tile
+// list serially, so per-PE RNG streams are deterministic regardless of
+// scheduling.
+func runPESet(assign [][]tile, fn func(pe int, tiles []tile)) {
+	var wg sync.WaitGroup
+	for pe := range assign {
+		if len(assign[pe]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(pe int, tiles []tile) {
+			defer wg.Done()
+			fn(pe, tiles)
+		}(pe, assign[pe])
+	}
+	wg.Wait()
+}

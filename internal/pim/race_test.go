@@ -38,3 +38,41 @@ func TestExecuteLUTConcurrentCallers(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestExecuteLUTFaultyConcurrentCallers stresses the fault path — the
+// shrunken-array re-dispatch fan-out plus per-PE RNG streams — from many
+// concurrent callers sharing one plan. Every run must recover to the
+// bit-exact reference and report identical deterministic Recovery counts,
+// proving the per-PE state (index copies, outcome streams, counters) is
+// private to each call. Run under -race.
+func TestExecuteLUTFaultyConcurrentCallers(t *testing.T) {
+	w, idx, tbl, _ := testKernel(6, 64, 16, 32, 2, 8)
+	p := UPMEM()
+	m := defaultMapping(w, 8, 8)
+	plan := FaultPlan{Seed: 21, DeadPEFraction: 0.5, FlipRate: 0.05, StragglerSpread: 1}
+	want := tbl.Lookup(idx, w.N)
+	ref, err := PlanRecovery(p, w, m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := ExecuteLUTWithFaults(p, w, m, idx, tbl, plan)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !tensor.Equal(res.Output, want) {
+				t.Error("concurrent faulty ExecuteLUT did not recover to reference")
+			}
+			if res.Recovery == nil || *res.Recovery != ref {
+				t.Errorf("concurrent Recovery diverged: %+v vs %+v", res.Recovery, ref)
+			}
+		}()
+	}
+	wg.Wait()
+}

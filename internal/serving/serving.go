@@ -21,6 +21,13 @@ type LatencyModel func(batch int) float64
 
 // Policy is the batching policy: dispatch when MaxBatch requests are
 // waiting, or when the oldest waiting request has waited MaxWait seconds.
+//
+// MaxWait == 0 is a legal greedy policy even with MaxBatch > 1: the
+// server dispatches whatever is queued the moment it goes free, so no
+// request ever waits for co-riders and none can starve — MaxBatch only
+// caps how many requests ride together. Batches larger than one still
+// form under load, because arrivals accumulate while the server is busy.
+// (TestZeroWaitGreedyDispatch pins this semantics.)
 type Policy struct {
 	MaxBatch int
 	MaxWait  float64
@@ -37,10 +44,50 @@ func (p Policy) Validate() error {
 	return nil
 }
 
+// Robustness configures fault tolerance of the serving loop: per-request
+// deadlines and retry/backoff against a flaky backend. The zero value
+// disables everything, making SimulateRobust identical to Simulate.
+type Robustness struct {
+	// Deadline is the per-request budget from arrival; a queued request
+	// whose deadline has already passed at dispatch time is dropped as a
+	// timeout instead of being served. 0 disables deadlines.
+	Deadline float64
+	// FailRate is the probability that one batch execution attempt fails
+	// and must be retried ([0, 1]).
+	FailRate float64
+	// MaxRetries bounds re-attempts per batch; when exhausted, the
+	// batch's requests are dropped as failures.
+	MaxRetries int
+	// Backoff is the pause before the first retry, doubling per attempt.
+	Backoff float64
+	// Seed drives the failure draws (deterministic for a fixed seed).
+	Seed int64
+}
+
+// Validate checks the robustness parameters.
+func (r Robustness) Validate() error {
+	if r.Deadline < 0 {
+		return fmt.Errorf("serving: Deadline must be non-negative")
+	}
+	if r.FailRate < 0 || r.FailRate > 1 {
+		return fmt.Errorf("serving: FailRate %g outside [0,1]", r.FailRate)
+	}
+	if r.MaxRetries < 0 {
+		return fmt.Errorf("serving: MaxRetries must be non-negative")
+	}
+	if r.Backoff < 0 {
+		return fmt.Errorf("serving: Backoff must be non-negative")
+	}
+	return nil
+}
+
 // Completion records one served request.
 type Completion struct {
 	Arrival, Start, Done float64
 	Batch                int // size of the batch it rode in
+	// Expired is true when the request was served but finished past its
+	// deadline (deadline-enabled runs only).
+	Expired bool
 }
 
 // Latency returns the request's end-to-end latency.
@@ -52,6 +99,12 @@ type Trace struct {
 	Batches     int
 	// Makespan is the time the last batch finishes.
 	Makespan float64
+
+	// Robustness counters (zero for plain Simulate runs).
+	Retries  int // batch execution attempts beyond the first
+	Timeouts int // requests dropped because their deadline passed unserved
+	Failures int // requests dropped with their batch's retry budget spent
+	Expired  int // requests served but completed past their deadline
 }
 
 // MeanLatency returns the average request latency.
@@ -107,7 +160,19 @@ func (t *Trace) MeanBatch() float64 {
 // dispatches immediately if MaxBatch requests are waiting, otherwise it
 // waits until either MaxBatch accumulate or the oldest waiter times out.
 func Simulate(arrivals []float64, lat LatencyModel, pol Policy) (*Trace, error) {
+	return SimulateRobust(arrivals, lat, pol, Robustness{})
+}
+
+// SimulateRobust is Simulate against a flaky backend: batch executions
+// fail with rob.FailRate and are retried after exponential backoff (the
+// server stays busy through failed attempts), and requests whose deadline
+// passes before service are dropped and counted as timeouts. With a zero
+// Robustness the trace is identical to Simulate's.
+func SimulateRobust(arrivals []float64, lat LatencyModel, pol Policy, rob Robustness) (*Trace, error) {
 	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rob.Validate(); err != nil {
 		return nil, err
 	}
 	for i := 1; i < len(arrivals); i++ {
@@ -115,6 +180,7 @@ func Simulate(arrivals []float64, lat LatencyModel, pol Policy) (*Trace, error) 
 			return nil, fmt.Errorf("serving: arrivals not sorted at %d", i)
 		}
 	}
+	rng := rand.New(rand.NewSource(rob.Seed))
 	tr := &Trace{}
 	next := 0           // next arrival not yet queued
 	var queue []float64 // arrival times of waiting requests
@@ -152,17 +218,59 @@ func Simulate(arrivals []float64, lat LatencyModel, pol Policy) (*Trace, error) 
 				dispatch = deadline
 			}
 		}
-		// Form the batch.
+		// Shed requests whose deadline passed before service could start.
+		if rob.Deadline > 0 {
+			kept := queue[:0]
+			for _, arr := range queue {
+				if arr+rob.Deadline <= dispatch {
+					tr.Timeouts++
+				} else {
+					kept = append(kept, arr)
+				}
+			}
+			queue = kept
+			if len(queue) == 0 {
+				if dispatch > now {
+					now = dispatch
+				} else if next < len(arrivals) {
+					now = arrivals[next]
+				}
+				continue
+			}
+		}
+		// Form the batch and execute it, retrying failed attempts with
+		// exponential backoff.
 		b := len(queue)
 		if b > pol.MaxBatch {
 			b = pol.MaxBatch
 		}
 		dur := lat(b)
-		done := dispatch + dur
-		for _, arr := range queue[:b] {
-			tr.Completions = append(tr.Completions, Completion{
-				Arrival: arr, Start: dispatch, Done: done, Batch: b,
-			})
+		start := dispatch
+		failed := false
+		for attempt := 0; ; attempt++ {
+			if rob.FailRate > 0 && rng.Float64() < rob.FailRate {
+				if attempt >= rob.MaxRetries {
+					failed = true
+					break
+				}
+				tr.Retries++
+				start += dur + rob.Backoff*math.Pow(2, float64(attempt))
+				continue
+			}
+			break
+		}
+		done := start + dur
+		if failed {
+			tr.Failures += b
+		} else {
+			for _, arr := range queue[:b] {
+				c := Completion{Arrival: arr, Start: dispatch, Done: done, Batch: b}
+				if rob.Deadline > 0 && done > arr+rob.Deadline {
+					c.Expired = true
+					tr.Expired++
+				}
+				tr.Completions = append(tr.Completions, c)
+			}
 		}
 		queue = append([]float64(nil), queue[b:]...)
 		tr.Batches++

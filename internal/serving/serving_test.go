@@ -180,6 +180,177 @@ func TestInterpolatedLatency(t *testing.T) {
 	}
 }
 
+// TestZeroWaitGreedyDispatch pins the documented MaxWait == 0 semantics:
+// with MaxBatch > 1 the policy is greedy — whatever is queued when the
+// server frees up dispatches immediately, so nothing starves waiting for
+// co-riders, and batches > 1 still form under load.
+func TestZeroWaitGreedyDispatch(t *testing.T) {
+	pol := Policy{MaxBatch: 4, MaxWait: 0}
+	if err := pol.Validate(); err != nil {
+		t.Fatalf("zero-wait policy rejected: %v", err)
+	}
+	// Trickle: each request dispatches alone the moment it arrives.
+	tr, err := Simulate([]float64{0, 10, 20}, constLat(1), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Completions) != 3 || tr.Batches != 3 {
+		t.Fatalf("trickle: %d completions in %d batches", len(tr.Completions), tr.Batches)
+	}
+	for _, c := range tr.Completions {
+		if c.Start != c.Arrival {
+			t.Fatalf("zero-wait request waited: arrival %g start %g", c.Arrival, c.Start)
+		}
+	}
+	// Burst while busy: followers ride together once the server frees up.
+	tr, err = Simulate([]float64{0, 0.1, 0.2, 0.3}, constLat(1), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Batches != 2 || tr.Completions[1].Batch != 3 {
+		t.Fatalf("burst under zero wait: %d batches, second batch size %d",
+			tr.Batches, tr.Completions[1].Batch)
+	}
+}
+
+// TestRobustZeroEqualsSimulate: a zero Robustness must reproduce
+// Simulate's trace event for event.
+func TestRobustZeroEqualsSimulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lat, _ := InterpolatedLatency([]int{1, 8}, []float64{0.05, 0.1})
+	arr := PoissonArrivals(rng, 80, 500)
+	pol := Policy{MaxBatch: 8, MaxWait: 0.05}
+	plain, err := Simulate(arr, lat, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := SimulateRobust(arr, lat, pol, Robustness{Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Completions) != len(robust.Completions) || plain.Batches != robust.Batches {
+		t.Fatalf("shape differs: %d/%d vs %d/%d",
+			len(plain.Completions), plain.Batches, len(robust.Completions), robust.Batches)
+	}
+	for i := range plain.Completions {
+		if plain.Completions[i] != robust.Completions[i] {
+			t.Fatalf("completion %d differs: %+v vs %+v", i, plain.Completions[i], robust.Completions[i])
+		}
+	}
+	if robust.Retries != 0 || robust.Timeouts != 0 || robust.Failures != 0 || robust.Expired != 0 {
+		t.Fatalf("zero robustness produced counters: %+v", robust)
+	}
+}
+
+// TestFlakyBackendRetries: a backend that always fails exhausts the retry
+// budget on every batch, dropping all requests as failures.
+func TestFlakyBackendRetries(t *testing.T) {
+	arr := []float64{0, 0, 0, 0}
+	tr, err := SimulateRobust(arr, constLat(0.5), Policy{MaxBatch: 4, MaxWait: 0},
+		Robustness{FailRate: 1, MaxRetries: 2, Backoff: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Completions) != 0 || tr.Failures != 4 {
+		t.Fatalf("always-failing backend served requests: %+v", tr)
+	}
+	if tr.Retries != 2 {
+		t.Fatalf("retries %d, want MaxRetries=2", tr.Retries)
+	}
+	// Server busy through 3 attempts + 2 backoffs: 3·0.5 + 0.1 + 0.2.
+	if math.Abs(tr.Makespan-1.8) > 1e-9 {
+		t.Fatalf("makespan %g, want 1.8", tr.Makespan)
+	}
+}
+
+// TestFlakyBackendRecoversAndSlows: moderate flakiness serves everything
+// but inflates latency deterministically for a fixed seed.
+func TestFlakyBackendRecoversAndSlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	arr := PoissonArrivals(rng, 50, 400)
+	pol := Policy{MaxBatch: 8, MaxWait: 0.02}
+	rob := Robustness{FailRate: 0.3, MaxRetries: 5, Backoff: 0.01, Seed: 7}
+	flaky, err := SimulateRobust(arr, constLat(0.05), pol, rob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := SimulateRobust(arr, constLat(0.05), pol, Robustness{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flaky.Completions)+flaky.Failures != len(arr) {
+		t.Fatalf("requests lost: %d served + %d failed != %d",
+			len(flaky.Completions), flaky.Failures, len(arr))
+	}
+	if flaky.Retries == 0 {
+		t.Fatal("30% fail rate produced no retries")
+	}
+	if flaky.MeanLatency() <= clean.MeanLatency() {
+		t.Fatalf("flaky backend not slower: %g vs %g", flaky.MeanLatency(), clean.MeanLatency())
+	}
+	again, err := SimulateRobust(arr, constLat(0.05), pol, rob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Retries != flaky.Retries || again.MeanLatency() != flaky.MeanLatency() {
+		t.Fatal("flaky run not deterministic for fixed seed")
+	}
+}
+
+// TestDeadlineSheddingAndExpiry: an overloaded server with per-request
+// deadlines sheds stale requests as timeouts and flags served-but-late
+// completions; every request is accounted for exactly once.
+func TestDeadlineSheddingAndExpiry(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	arr := PoissonArrivals(rng, 200, 500) // far beyond 1/0.1 capacity
+	tr, err := SimulateRobust(arr, constLat(0.1), Policy{MaxBatch: 4, MaxWait: 0.01},
+		Robustness{Deadline: 0.25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Timeouts == 0 {
+		t.Fatal("overload with deadlines produced no timeouts")
+	}
+	if len(tr.Completions)+tr.Timeouts+tr.Failures != len(arr) {
+		t.Fatalf("conservation broken: %d + %d + %d != %d",
+			len(tr.Completions), tr.Timeouts, tr.Failures, len(arr))
+	}
+	nExpired := 0
+	for _, c := range tr.Completions {
+		if c.Expired {
+			nExpired++
+			if c.Done <= c.Arrival+0.25 {
+				t.Fatal("completion flagged expired but met its deadline")
+			}
+		}
+	}
+	if nExpired != tr.Expired {
+		t.Fatalf("expired count %d != flagged completions %d", tr.Expired, nExpired)
+	}
+	// No served request starts after its deadline already passed.
+	for _, c := range tr.Completions {
+		if c.Start >= c.Arrival+0.25 {
+			t.Fatalf("request served after deadline passed unserved: %+v", c)
+		}
+	}
+}
+
+// TestRobustnessValidate rejects out-of-range parameters.
+func TestRobustnessValidate(t *testing.T) {
+	bad := []Robustness{
+		{Deadline: -1},
+		{FailRate: -0.1},
+		{FailRate: 1.1},
+		{MaxRetries: -1},
+		{Backoff: -0.5},
+	}
+	for i, rob := range bad {
+		if _, err := SimulateRobust(nil, constLat(1), Policy{MaxBatch: 1}, rob); err == nil {
+			t.Fatalf("bad robustness %d accepted: %+v", i, rob)
+		}
+	}
+}
+
 func TestEmptyArrivals(t *testing.T) {
 	tr, err := Simulate(nil, constLat(1), Policy{MaxBatch: 4, MaxWait: 1})
 	if err != nil {

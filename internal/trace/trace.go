@@ -24,6 +24,19 @@ type event struct {
 	Args map[string]string `json:"args,omitempty"`
 }
 
+// instant is one Chrome trace instant event (ph = "i"), used for fault,
+// retry and re-dispatch markers so recoveries are visible in Perfetto.
+type instant struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	S    string            `json:"s"`  // scope: thread
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
 // metadata names a track.
 type metadata struct {
 	Name string         `json:"name"`
@@ -41,6 +54,10 @@ const (
 // Export writes the report's schedule as trace-event JSON. Operators are
 // laid out serially in report order (the engine's execution model);
 // host ops land on the host track and PIM ops on the PIM track.
+// Degraded operators additionally emit instant events (ph "i") on the PIM
+// track at their start time — one per recovery category (DMA retries,
+// tile re-dispatches, residual corruption, host fallback) — so Perfetto
+// shows where the array misbehaved.
 func Export(w io.Writer, rep *engine.Report) error {
 	var events []any
 	events = append(events,
@@ -68,6 +85,7 @@ func Export(w io.Writer, rep *engine.Report) error {
 				"class": op.Class.String(),
 			},
 		})
+		events = append(events, faultInstants(op, cursor)...)
 		cursor += op.Time
 	}
 	enc := json.NewEncoder(w)
@@ -79,4 +97,35 @@ func Export(w io.Writer, rep *engine.Report) error {
 			"batch":  fmt.Sprint(rep.Batch),
 		},
 	})
+}
+
+// faultInstants returns the instant events one operator contributes: a
+// marker per non-zero recovery category, pinned to the op's start on the
+// PIM track (fault activity is an array-side phenomenon even when the
+// consequence — a host fallback — runs elsewhere).
+func faultInstants(op engine.OpCost, cursor float64) []any {
+	var out []any
+	mark := func(name string, args map[string]string) {
+		out = append(out, instant{
+			Name: name, Cat: "fault", Ph: "i", TS: cursor * 1e6, S: "t",
+			PID: 1, TID: pimTID, Args: args,
+		})
+	}
+	if op.Fallback {
+		mark("host-fallback", map[string]string{"op": op.Name, "layer": fmt.Sprint(op.Layer)})
+	}
+	if r := op.Recovery; r != nil {
+		if r.Retries > 0 {
+			mark("dma-retry", map[string]string{"op": op.Name, "retries": fmt.Sprint(r.Retries)})
+		}
+		if r.Redispatched > 0 {
+			mark("re-dispatch", map[string]string{"op": op.Name,
+				"tiles": fmt.Sprint(r.Redispatched), "deadPEs": fmt.Sprint(r.DeadPEs)})
+		}
+		if r.ResidualCorrupt > 0 {
+			mark("residual-corruption", map[string]string{"op": op.Name,
+				"elements": fmt.Sprint(r.ResidualCorrupt)})
+		}
+	}
+	return out
 }

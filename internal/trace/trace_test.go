@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/nn"
+	"repro/internal/pim"
 )
 
 func TestExportValidJSON(t *testing.T) {
@@ -58,6 +59,69 @@ func TestExportValidJSON(t *testing.T) {
 	}
 	if seen != 3 {
 		t.Fatalf("op events %d", seen)
+	}
+}
+
+// TestExportFaultInstantEvents checks the JSON shape of the fault/retry/
+// re-dispatch markers: instant events (ph "i", thread scope) on the PIM
+// track at the owning op's start time, one per recovery category.
+func TestExportFaultInstantEvents(t *testing.T) {
+	rep := &engine.Report{
+		Config: "degraded",
+		Batch:  1,
+		Ops: []engine.OpCost{
+			{Name: "LUT-QKV", Class: engine.ClassLUT, Layer: 0, Role: nn.RoleQKV,
+				Time: 0.004, OnPIM: true,
+				Recovery: &pim.Recovery{DeadPEs: 2, Redispatched: 2, Retries: 5, ResidualCorrupt: 1, WorstSlowdown: 1.4}},
+			{Name: "GEMM-FFN1-fallback", Class: engine.ClassOther, Layer: 0, Role: nn.RoleFFN1,
+				Time: 0.010, Fallback: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Export(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	instants := map[string]map[string]any{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "i" {
+			continue
+		}
+		if ev["s"] != "t" {
+			t.Fatalf("instant %v missing thread scope: %v", ev["name"], ev["s"])
+		}
+		if ev["tid"].(float64) != 2 {
+			t.Fatalf("instant %v not on PIM track", ev["name"])
+		}
+		if _, ok := ev["dur"]; ok {
+			t.Fatalf("instant %v carries a duration", ev["name"])
+		}
+		instants[ev["name"].(string)] = ev
+	}
+	for _, want := range []string{"dma-retry", "re-dispatch", "residual-corruption", "host-fallback"} {
+		if _, ok := instants[want]; !ok {
+			t.Fatalf("missing instant event %q (got %v)", want, instants)
+		}
+	}
+	// Markers pin to their op's start: LUT op starts at 0, fallback GEMM
+	// at 0.004 s = 4000 µs.
+	if ts := instants["dma-retry"]["ts"].(float64); ts != 0 {
+		t.Fatalf("dma-retry ts %g", ts)
+	}
+	if ts := instants["host-fallback"]["ts"].(float64); ts != 4000 {
+		t.Fatalf("host-fallback ts %g", ts)
+	}
+	args := instants["re-dispatch"]["args"].(map[string]any)
+	if args["tiles"] != "2" || args["deadPEs"] != "2" {
+		t.Fatalf("re-dispatch args %v", args)
+	}
+	if args := instants["dma-retry"]["args"].(map[string]any); args["retries"] != "5" {
+		t.Fatalf("dma-retry args %v", args)
 	}
 }
 
