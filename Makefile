@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-faults bench vet fmt lint experiments examples clean
+.PHONY: all build test test-short test-race test-faults bench bench-smoke bench-json vet fmt lint experiments examples clean
 
 all: build vet lint test
 
@@ -44,6 +44,17 @@ test-faults:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX .
+
+# bench-smoke runs every benchmark exactly once — a fast CI check that
+# the benchmarks still compile and execute.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run XXX .
+
+# bench-json writes per-experiment wall time and kernel throughput to
+# BENCH_<date>.json; diff against a committed baseline with
+#   go run ./cmd/pimdl-bench -compare BENCH_old.json BENCH_new.json
+bench-json:
+	$(GO) run ./cmd/pimdl-bench -exp fig11 -json
 
 experiments:
 	$(GO) run ./cmd/pimdl-bench -exp all | tee bench_results.txt

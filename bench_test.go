@@ -63,12 +63,20 @@ var benchLayer = sync.OnceValues(func() (*lutnn.Layer, *tensor.Tensor) {
 	return layer, acts
 })
 
+// The kernel benchmarks measure the steady-state Into variants — output
+// and index buffers allocated once, reused every call — which is the
+// per-inference hot path. ReportAllocs makes allocation regressions on
+// that path visible (steady state is zero allocations; see
+// internal/lutnn/fastpath_test.go for the enforcing test).
+
 func BenchmarkCCSKernel(b *testing.B) {
 	layer, acts := benchLayer()
+	idx := make([]uint8, acts.Dim(0)*layer.Codebooks.CB)
 	b.SetBytes(int64(acts.Size() * 4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = layer.Codebooks.Search(acts)
+		layer.Codebooks.SearchInto(idx, acts)
 	}
 }
 
@@ -76,10 +84,12 @@ func BenchmarkLUTLookupFP32(b *testing.B) {
 	layer, acts := benchLayer()
 	idx := layer.Codebooks.Search(acts)
 	n := acts.Dim(0)
+	out := tensor.New(n, layer.Table.F)
 	b.SetBytes(int64(len(layer.Table.Data) / layer.Table.CT)) // streamed per row set
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = layer.Table.Lookup(idx, n)
+		layer.Table.LookupInto(out, idx, n)
 	}
 }
 
@@ -87,9 +97,27 @@ func BenchmarkLUTLookupINT8(b *testing.B) {
 	layer, acts := benchLayer()
 	idx := layer.Codebooks.Search(acts)
 	n := acts.Dim(0)
+	out := tensor.New(n, layer.QTable.F)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = layer.QTable.Lookup(idx, n)
+		layer.QTable.LookupInto(out, idx, n)
+	}
+}
+
+// BenchmarkLayerForwardFused measures the fused CCS+lookup forward: the
+// index tile never round-trips through a full N×CB matrix.
+func BenchmarkLayerForwardFused(b *testing.B) {
+	shared, acts := benchLayer()
+	// FP32 tables only: Forward prefers QTable when INT8 is enabled, and
+	// this benchmark pins the FP32 fused path.
+	layer := &lutnn.Layer{Codebooks: shared.Codebooks, Table: shared.Table}
+	out := tensor.New(acts.Dim(0), layer.Table.F)
+	b.SetBytes(int64(acts.Size() * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.ForwardInto(out, acts)
 	}
 }
 

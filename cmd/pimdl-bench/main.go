@@ -1,29 +1,46 @@
-// Command pimdl-bench reproduces the paper's tables and figures.
+// Command pimdl-bench reproduces the paper's tables and figures and
+// doubles as the benchmark-regression harness.
 //
 // Usage:
 //
-//	pimdl-bench -exp fig10          # one experiment
-//	pimdl-bench -exp all            # everything
-//	pimdl-bench -exp table4 -quick  # reduced effort (for smoke tests)
+//	pimdl-bench -exp fig10                  # one experiment
+//	pimdl-bench -exp all                    # everything
+//	pimdl-bench -exp table4 -quick          # reduced effort (for smoke tests)
+//	pimdl-bench -exp fig11 -json            # also write BENCH_<date>.json
+//	pimdl-bench -compare old.json new.json  # diff two reports; exit 1 on
+//	                                        # any metric >10% slower
 //
 // Experiment ids match the paper: fig3 fig4 table4 table5 fig10 fig11
 // fig12 fig13 fig14 fig15.
+//
+// -json reports carry per-experiment wall time plus steady-state kernel
+// throughput (CCS, FP32/INT8 lookup, fused forward); see internal/bench
+// for the schema.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all' ("+strings.Join(experiments.Names(), ", ")+")")
 	quick := flag.Bool("quick", false, "reduced-effort accuracy experiments")
+	jsonOut := flag.Bool("json", false, "write wall times and kernel throughput to BENCH_<date>.json")
+	compare := flag.Bool("compare", false, "compare two report files: pimdl-bench -compare old.json new.json")
+	outPath := flag.String("o", "", "output path for -json (default BENCH_<date>.json)")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args()))
+	}
 
 	names := experiments.Names()
 	if *exp != "all" {
@@ -39,6 +56,13 @@ func main() {
 		names = filtered
 	}
 
+	report := &bench.Report{
+		Schema:     bench.Schema,
+		Date:       time.Now().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+
 	for _, name := range names {
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
@@ -46,6 +70,74 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pimdl-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		fmt.Printf("(%.1fs)\n\n", secs)
+		report.Experiments = append(report.Experiments,
+			bench.ExperimentResult{Name: name, WallSeconds: secs})
 	}
+
+	if *jsonOut {
+		fmt.Println("=== kernels ===")
+		kernels, err := bench.Kernels(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimdl-bench: kernels: %v\n", err)
+			os.Exit(1)
+		}
+		report.Kernels = kernels
+		for _, k := range kernels {
+			if k.MBPerSec > 0 {
+				fmt.Printf("%-20s %12.0f ns/op %10.1f MB/s\n", k.Name, k.NsPerOp, k.MBPerSec)
+			} else {
+				fmt.Printf("%-20s %12.0f ns/op\n", k.Name, k.NsPerOp)
+			}
+		}
+		path := *outPath
+		if path == "" {
+			path = "BENCH_" + report.Date + ".json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", path)
+	}
+}
+
+// runCompare diffs two -json reports; returns the process exit code.
+func runCompare(paths []string) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "pimdl-bench: -compare wants exactly two report files: old.json new.json")
+		return 2
+	}
+	base, err := bench.Load(paths[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
+		return 2
+	}
+	cur, err := bench.Load(paths[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
+		return 2
+	}
+	fmt.Print(bench.FormatComparison(base, cur, bench.DefaultTolerance))
+	regs := bench.Compare(base, cur, bench.DefaultTolerance)
+	if len(regs) == 0 {
+		fmt.Printf("\nno regressions beyond %.0f%%\n", bench.DefaultTolerance*100)
+		return 0
+	}
+	fmt.Printf("\n%d regression(s) beyond %.0f%%:\n", len(regs), bench.DefaultTolerance*100)
+	for _, r := range regs {
+		fmt.Println("  " + r.String())
+	}
+	return 1
 }

@@ -8,12 +8,16 @@ import (
 	"errors"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/mapping"
+	"repro/internal/parallel"
 	"repro/internal/pim"
 )
+
+// parallelCostWork is the rough scalar-op estimate for scoring one
+// sub-LUT partition's micro-kernel space, used to decide whether Tune
+// fans out on the worker pool.
+const parallelCostWork = 1 << 16
 
 // Result is the tuner's output for one LUT operator.
 type Result struct {
@@ -45,15 +49,12 @@ func Tune(p *pim.Platform, w pim.Workload, cfg mapping.SpaceConfig) (*Result, er
 	}
 	results := make([]partBest, len(parts))
 
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, sf := range parts {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, ns, fs int) {
-			defer wg.Done()
-			defer func() { <-sem }()
+	// One slot per sub-LUT partition on the shared worker pool; each
+	// partition writes its own results element, and the serial reduction
+	// below keeps the winner deterministic.
+	parallel.For(len(parts), len(parts)*parallelCostWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ns, fs := parts[i][0], parts[i][1]
 			best := partBest{cost: math.Inf(1)}
 			mapping.MicroKernels(p, w, ns, fs, cfg, func(m pim.Mapping) {
 				best.count++
@@ -63,9 +64,8 @@ func Tune(p *pim.Platform, w pim.Workload, cfg mapping.SpaceConfig) (*Result, er
 				}
 			})
 			results[i] = best
-		}(i, sf[0], sf[1])
-	}
-	wg.Wait()
+		}
+	})
 
 	out := &Result{}
 	bestCost := math.Inf(1)

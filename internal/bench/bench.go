@@ -1,0 +1,103 @@
+// Package bench is the benchmark-regression harness behind
+// `pimdl-bench -json` and `pimdl-bench -compare`: it measures kernel
+// throughput and experiment wall time into a versioned JSON report, and
+// diffs two reports flagging regressions beyond a tolerance.
+//
+// The JSON schema is deliberately small and append-only (new fields may
+// be added; existing ones keep their meaning), so reports committed at
+// different times stay comparable:
+//
+//	{
+//	  "schema": 1,
+//	  "date": "2026-08-06",
+//	  "go_max_procs": 8,
+//	  "experiments": [{"name": "fig11", "wall_seconds": 1.2}],
+//	  "kernels": [{"name": "ccs", "ns_per_op": 2.5e7, "mb_per_sec": 240}]
+//	}
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Schema is the current report schema version.
+const Schema = 1
+
+// KernelResult is one measured kernel: mean wall time per call and, when
+// the kernel has a natural bytes-processed figure, throughput.
+type KernelResult struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	Ops      int     `json:"ops"`
+}
+
+// ExperimentResult is one experiment's end-to-end wall time.
+type ExperimentResult struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Report is the full benchmark report written by `pimdl-bench -json`.
+type Report struct {
+	Schema      int                `json:"schema"`
+	Date        string             `json:"date"`
+	GoMaxProcs  int                `json:"go_max_procs"`
+	Quick       bool               `json:"quick,omitempty"`
+	Experiments []ExperimentResult `json:"experiments,omitempty"`
+	Kernels     []KernelResult     `json:"kernels,omitempty"`
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Load reads a report from path and validates its schema version.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("bench: %s has schema %d, want %d", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// minMeasure is the minimum total measurement time per kernel: long
+// enough to amortise timer and warm-up noise, short enough for CI.
+const minMeasure = 200 * time.Millisecond
+
+// Measure times fn repeatedly until minMeasure has elapsed (at least
+// three calls, the first discarded as warm-up) and returns the mean.
+// bytesPerOp, when non-zero, yields the MB/s throughput figure.
+func Measure(name string, bytesPerOp int64, fn func()) KernelResult {
+	fn() // warm-up: page in tables, prime the worker pool and scratch pools
+	var (
+		ops   int
+		total time.Duration
+	)
+	for total < minMeasure || ops < 2 {
+		start := time.Now()
+		fn()
+		total += time.Since(start)
+		ops++
+	}
+	ns := float64(total.Nanoseconds()) / float64(ops)
+	res := KernelResult{Name: name, NsPerOp: ns, Ops: ops}
+	if bytesPerOp > 0 {
+		res.MBPerSec = float64(bytesPerOp) / (ns / 1e9) / 1e6
+	}
+	return res
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema:     Schema,
+		Date:       "2026-08-06",
+		GoMaxProcs: 4,
+		Experiments: []ExperimentResult{
+			{Name: "fig11", WallSeconds: 2.0},
+		},
+		Kernels: []KernelResult{
+			{Name: "ccs", NsPerOp: 1e7, MBPerSec: 200, Ops: 20},
+			{Name: "lut_lookup_fp32", NsPerOp: 5e7, Ops: 4},
+		},
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(r)
+	have, _ := json.Marshal(got)
+	if !bytes.Equal(want, have) {
+		t.Fatalf("round trip changed report:\n%s\nvs\n%s", want, have)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+
+	// Within tolerance: 5% slower kernel, 9% slower experiment.
+	cur.Kernels[0].NsPerOp = 1.05e7
+	cur.Experiments[0].WallSeconds = 2.18
+	if regs := Compare(base, cur, DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("within-tolerance changes flagged: %v", regs)
+	}
+
+	// Beyond tolerance: 20% slower kernel and 15% slower experiment.
+	cur.Kernels[0].NsPerOp = 1.2e7
+	cur.Experiments[0].WallSeconds = 2.3
+	regs := Compare(base, cur, DefaultTolerance)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	if regs[0].Name != "ccs" || regs[0].Metric != "ns_per_op" {
+		t.Errorf("unexpected first regression: %+v", regs[0])
+	}
+	if regs[1].Name != "fig11" || regs[1].Metric != "wall_seconds" {
+		t.Errorf("unexpected second regression: %+v", regs[1])
+	}
+
+	// Speedups are never regressions.
+	cur.Kernels[0].NsPerOp = 0.5e7
+	cur.Experiments[0].WallSeconds = 1.0
+	if regs := Compare(base, cur, DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("speedups flagged as regressions: %v", regs)
+	}
+}
+
+func TestCompareIgnoresUnmatchedMetrics(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Kernels = append(cur.Kernels, KernelResult{Name: "brand_new", NsPerOp: 1e9})
+	cur.Experiments = append(cur.Experiments, ExperimentResult{Name: "fig99", WallSeconds: 100})
+	if regs := Compare(base, cur, DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("metrics without a baseline flagged: %v", regs)
+	}
+}
+
+func TestMeasureSanity(t *testing.T) {
+	var calls int
+	res := Measure("noop", 1000, func() { calls++ })
+	if res.Ops < 2 {
+		t.Errorf("Ops = %d, want >= 2", res.Ops)
+	}
+	if calls != res.Ops+1 { // +1 warm-up call
+		t.Errorf("calls = %d, want Ops+1 = %d", calls, res.Ops+1)
+	}
+	if res.NsPerOp < 0 {
+		t.Errorf("negative ns/op: %v", res.NsPerOp)
+	}
+	if res.MBPerSec <= 0 {
+		t.Errorf("throughput missing despite bytesPerOp: %v", res.MBPerSec)
+	}
+	if noBytes := Measure("nobytes", 0, func() {}); noBytes.MBPerSec != 0 {
+		t.Errorf("throughput reported without bytesPerOp: %v", noBytes.MBPerSec)
+	}
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultTolerance is the regression threshold used by
+// `pimdl-bench -compare`: new times more than 10% above old are flagged.
+const DefaultTolerance = 0.10
+
+// Regression is one metric that got slower beyond the tolerance.
+type Regression struct {
+	Name   string  // kernel or experiment name
+	Metric string  // "ns_per_op" or "wall_seconds"
+	Old    float64 // baseline value
+	New    float64 // current value
+	Ratio  float64 // New/Old (> 1 means slower)
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%.1f%% slower)",
+		r.Name, r.Metric, r.Old, r.New, (r.Ratio-1)*100)
+}
+
+// Compare diffs two reports and returns the metrics in cur that are more
+// than tolerance slower than in base. Metrics present in only one report
+// are ignored — the harness grows over time and a new kernel has no
+// baseline to regress against.
+func Compare(base, cur *Report, tolerance float64) []Regression {
+	var regs []Regression
+	oldKernels := make(map[string]KernelResult, len(base.Kernels))
+	for _, k := range base.Kernels {
+		oldKernels[k.Name] = k
+	}
+	for _, k := range cur.Kernels {
+		o, ok := oldKernels[k.Name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := k.NsPerOp / o.NsPerOp; ratio > 1+tolerance {
+			regs = append(regs, Regression{
+				Name: k.Name, Metric: "ns_per_op",
+				Old: o.NsPerOp, New: k.NsPerOp, Ratio: ratio,
+			})
+		}
+	}
+	oldExps := make(map[string]ExperimentResult, len(base.Experiments))
+	for _, e := range base.Experiments {
+		oldExps[e.Name] = e
+	}
+	for _, e := range cur.Experiments {
+		o, ok := oldExps[e.Name]
+		if !ok || o.WallSeconds <= 0 {
+			continue
+		}
+		if ratio := e.WallSeconds / o.WallSeconds; ratio > 1+tolerance {
+			regs = append(regs, Regression{
+				Name: e.Name, Metric: "wall_seconds",
+				Old: o.WallSeconds, New: e.WallSeconds, Ratio: ratio,
+			})
+		}
+	}
+	return regs
+}
+
+// FormatComparison renders a human-readable side-by-side of every metric
+// the two reports share, marking regressions with "!".
+func FormatComparison(base, cur *Report, tolerance float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %9s\n", "metric", "old", "new", "delta")
+	row := func(name string, old, new float64) {
+		mark := " "
+		if old > 0 && new/old > 1+tolerance {
+			mark = "!"
+		}
+		delta := 0.0
+		if old > 0 {
+			delta = (new/old - 1) * 100
+		}
+		fmt.Fprintf(&b, "%-28s %14.4g %14.4g %+8.1f%%%s\n", name, old, new, delta, mark)
+	}
+	oldKernels := make(map[string]KernelResult, len(base.Kernels))
+	for _, k := range base.Kernels {
+		oldKernels[k.Name] = k
+	}
+	for _, k := range cur.Kernels {
+		if o, ok := oldKernels[k.Name]; ok {
+			row("kernel/"+k.Name+" (ns/op)", o.NsPerOp, k.NsPerOp)
+		}
+	}
+	oldExps := make(map[string]ExperimentResult, len(base.Experiments))
+	for _, e := range base.Experiments {
+		oldExps[e.Name] = e
+	}
+	for _, e := range cur.Experiments {
+		if o, ok := oldExps[e.Name]; ok {
+			row("exp/"+e.Name+" (s)", o.WallSeconds, e.WallSeconds)
+		}
+	}
+	return b.String()
+}

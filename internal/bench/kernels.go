@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/lutnn"
+	"repro/internal/tensor"
+)
+
+// Kernel benchmark configuration: one BERT-base-shaped linear layer
+// (N=2048 rows, H=F=768, V=4, CT=16 ⇒ CB=192), the same shape the
+// repository's Go benchmarks in bench_test.go use, so `pimdl-bench
+// -json` numbers and `go test -bench` numbers describe the same kernels.
+const (
+	kernelN = 2048
+	kernelH = 768
+	kernelF = 768
+)
+
+// quickKernelN shrinks the row count under -quick (CI smoke runs).
+const quickKernelN = 256
+
+// Kernels measures the steady-state host kernels — CCS, FP32 and INT8
+// table lookup, and the fused forward — into KernelResults. The
+// measured calls are the zero-allocation Into variants: that is the
+// per-inference hot path once buffers are set up.
+func Kernels(quick bool) ([]KernelResult, error) {
+	n := kernelN
+	if quick {
+		n = quickKernelN
+	}
+	rng := rand.New(rand.NewSource(1))
+	acts := tensor.RandN(rng, 1, n, kernelH)
+	w := tensor.RandN(rng, 1, kernelF, kernelH)
+	layer, err := lutnn.Convert(w, nil, acts, lutnn.Params{V: 4, CT: 16}, 1)
+	if err != nil {
+		return nil, err
+	}
+	qt := layer.Table.Quantize()
+
+	idx := make([]uint8, n*layer.Codebooks.CB)
+	out := tensor.New(n, kernelF)
+	layer.Codebooks.SearchInto(idx, acts)
+
+	actBytes := int64(acts.Size() * 4)
+	// One output matrix plus one index matrix streamed per lookup call.
+	lookupBytes := int64(n*kernelF*4 + len(idx))
+
+	results := []KernelResult{
+		Measure("ccs", actBytes, func() {
+			layer.Codebooks.SearchInto(idx, acts)
+		}),
+		Measure("lut_lookup_fp32", lookupBytes, func() {
+			layer.Table.LookupInto(out, idx, n)
+		}),
+		Measure("lut_lookup_int8", lookupBytes, func() {
+			qt.LookupInto(out, idx, n)
+		}),
+		Measure("forward_fused_fp32", actBytes, func() {
+			layer.ForwardInto(out, acts)
+		}),
+	}
+	return results, nil
+}

@@ -119,6 +119,8 @@ func (d *Deployment) Run(acts *tensor.Tensor) (*tensor.Tensor, pim.Timing, error
 	if acts.Dim(0) != d.Workload.N {
 		return nil, pim.Timing{}, fmt.Errorf("core: deployment sized for %d rows, got %d", d.Workload.N, acts.Dim(0))
 	}
+	// CCS runs the blocked parallel kernel on the shared worker pool
+	// (lutnn fast path); the simulated PIM side consumes the indices.
 	idx := d.Layer.Codebooks.Search(acts)
 	var out *tensor.Tensor
 	var tm pim.Timing

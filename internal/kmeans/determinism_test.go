@@ -1,0 +1,54 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestRunDeterministicAcrossGOMAXPROCS requires bit-identical clustering
+// at GOMAXPROCS 1, 2, and 8: the parallel assignment and D² steps write
+// disjoint ranges and all reductions stay serial, so the worker count
+// must not leak into centroids, assignments, or inertia. Codebook
+// construction (and therefore every downstream LUT) depends on this.
+func TestRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	const n, dim, k = 1500, 4, 16
+	rng := rand.New(rand.NewSource(42))
+	points := make([]float32, n*dim)
+	for i := range points {
+		points[i] = float32(rng.NormFloat64())
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var ref *Result
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		res := Run(points, n, dim, Config{K: k, Seed: 7, Restarts: 2})
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res.Centroids) != len(ref.Centroids) {
+			t.Fatalf("GOMAXPROCS=%d: centroid count changed", procs)
+		}
+		for i := range res.Centroids {
+			if math.Float32bits(res.Centroids[i]) != math.Float32bits(ref.Centroids[i]) {
+				t.Fatalf("GOMAXPROCS=%d: centroid %d differs bitwise", procs, i)
+			}
+		}
+		for i := range res.Assign {
+			if res.Assign[i] != ref.Assign[i] {
+				t.Fatalf("GOMAXPROCS=%d: assignment %d differs", procs, i)
+			}
+		}
+		if res.Inertia != ref.Inertia {
+			t.Fatalf("GOMAXPROCS=%d: inertia %v != %v", procs, res.Inertia, ref.Inertia)
+		}
+		if res.Iterations != ref.Iterations {
+			t.Fatalf("GOMAXPROCS=%d: iterations %d != %d", procs, res.Iterations, ref.Iterations)
+		}
+	}
+}

@@ -10,6 +10,9 @@ package kmeans
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Result holds the clustering output.
@@ -72,18 +75,28 @@ func runOnce(points []float32, n, dim, k, maxIter int, rng *rand.Rand) *Result {
 
 	var iter int
 	for iter = 0; iter < maxIter; iter++ {
-		changed := false
-		// Assignment step.
-		for i := 0; i < n; i++ {
-			p := points[i*dim : (i+1)*dim]
-			bi, bd := nearest(p, cent, k, dim)
-			_ = bd
-			if assign[i] != bi {
-				assign[i] = bi
-				changed = true
+		// Assignment step, fanned out on the shared worker pool: each
+		// point's nearest centroid is independent and chunks write
+		// disjoint ranges of assign, so the result is bit-identical at
+		// any worker count. The changed flag is a commutative OR, which
+		// is order-free. Reductions (update step) stay serial below so
+		// centroid sums keep a fixed accumulation order.
+		var changedFlag atomic.Bool
+		parallel.For(n, n*k*dim*3, func(lo, hi int) {
+			localChanged := false
+			for i := lo; i < hi; i++ {
+				p := points[i*dim : (i+1)*dim]
+				bi, _ := nearest(p, cent, k, dim)
+				if assign[i] != bi {
+					assign[i] = bi
+					localChanged = true
+				}
 			}
-		}
-		if !changed && iter > 0 {
+			if localChanged {
+				changedFlag.Store(true)
+			}
+		})
+		if !changedFlag.Load() && iter > 0 {
 			break
 		}
 		// Update step.
@@ -117,12 +130,21 @@ func runOnce(points []float32, n, dim, k, maxIter int, rng *rand.Rand) *Result {
 		}
 	}
 
+	// Final assignment + per-point distances in parallel (disjoint
+	// writes), then a serial sum so the float64 inertia accumulates in a
+	// fixed order regardless of worker count.
+	d2 := make([]float64, n)
+	parallel.For(n, n*k*dim*3, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := points[i*dim : (i+1)*dim]
+			bi, d := nearest(p, cent, k, dim)
+			assign[i] = bi
+			d2[i] = float64(d)
+		}
+	})
 	var inertia float64
-	for i := 0; i < n; i++ {
-		p := points[i*dim : (i+1)*dim]
-		_, d := nearest(p, cent, k, dim)
-		assign[i], _ = nearest(p, cent, k, dim)
-		inertia += float64(d)
+	for _, d := range d2 {
+		inertia += d
 	}
 	return &Result{Centroids: cent, Assign: assign, Inertia: inertia, Iterations: iter, K: k, Dim: dim}
 }
@@ -134,11 +156,18 @@ func seedPlusPlus(points []float32, n, dim, k int, rng *rand.Rand) []float32 {
 	copy(cent[:dim], points[first*dim:(first+1)*dim])
 	d2 := make([]float64, n)
 	for c := 1; c < k; c++ {
+		// D² weights per point in parallel (disjoint writes); the total
+		// is summed serially so the sampling distribution — and thus the
+		// seeded RNG draws — is identical at any worker count.
+		parallel.For(n, n*c*dim*3, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p := points[i*dim : (i+1)*dim]
+				_, d := nearest(p, cent, c, dim)
+				d2[i] = float64(d)
+			}
+		})
 		var total float64
 		for i := 0; i < n; i++ {
-			p := points[i*dim : (i+1)*dim]
-			_, d := nearest(p, cent, c, dim)
-			d2[i] = float64(d)
 			total += d2[i]
 		}
 		var idx int

@@ -25,6 +25,11 @@ type TrainableCodebooks struct {
 	// the upstream activations, reproducing the gradient-blocking problem
 	// eLUT-NN's Eq. 2 exists to solve.
 	NoSTE bool
+
+	// idxBuf is the reused CCS index scratch: calibration calls
+	// Substitute once per iteration, and SearchInto fills this buffer
+	// instead of allocating a fresh N×CB matrix every time.
+	idxBuf []uint8
 }
 
 // NewTrainableCodebooks lifts c into trainable form (sharing no storage).
@@ -53,10 +58,14 @@ func (tc *TrainableCodebooks) Snapshot() *Codebooks {
 //     without layer-by-layer propagation.
 func (tc *TrainableCodebooks) Substitute(acts *autograd.Value) *autograd.Value {
 	snap := tc.Snapshot()
-	idx := snap.Search(acts.T)
+	n := acts.T.Dim(0)
+	if need := n * tc.CB; cap(tc.idxBuf) < need {
+		tc.idxBuf = make([]uint8, need)
+	}
+	idx := tc.idxBuf[:n*tc.CB]
+	snap.SearchInto(idx, acts.T)
 	approx := snap.Approximate(acts.T, idx)
 
-	n := acts.T.Dim(0)
 	cb, ct, v := tc.CB, tc.CT, tc.V
 
 	// Branch 1: gradient into the centroids via gather/scatter.

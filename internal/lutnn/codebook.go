@@ -10,8 +10,6 @@ package lutnn
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/kmeans"
 	"repro/internal/tensor"
@@ -115,8 +113,21 @@ func (c *Codebooks) centroidSqNorms() []float32 {
 
 // Search runs closest-centroid search over acts (N×H), returning the N×CB
 // index matrix (row-major uint8). This is the CCS operator that PIM-DL
-// executes on the host. It panics if the activation width is not CB·V.
+// executes on the host. It runs the blocked, V-specialised kernel in
+// parallel on the shared worker pool (see fastpath.go); results are
+// bit-identical to searchSerial at any GOMAXPROCS. It panics if the
+// activation width is not CB·V.
 func (c *Codebooks) Search(acts *tensor.Tensor) []uint8 {
+	idx := make([]uint8, acts.Dim(0)*c.CB)
+	c.SearchInto(idx, acts)
+	return idx
+}
+
+// searchSerial is the retained row-at-a-time reference implementation of
+// Search. The golden tests in fastpath_test.go compare every optimized
+// kernel against it bit for bit; it is not used on the inference path.
+// Like Search, it panics if the activation width is not CB·V.
+func (c *Codebooks) searchSerial(acts *tensor.Tensor) []uint8 {
 	n, h := acts.Dim(0), acts.Dim(1)
 	if h != c.CB*c.V {
 		panic(fmt.Sprintf("lutnn: activation width %d != CB·V = %d", h, c.CB*c.V))
@@ -166,62 +177,12 @@ func (c *Codebooks) Approximate(acts *tensor.Tensor, idx []uint8) *tensor.Tensor
 	return out
 }
 
-// SearchParallel is Search fanned out across CPU cores: the host-side CCS
-// operator is embarrassingly parallel over activation rows, and the
-// inference engine's host is a multi-core Xeon. Results are identical to
-// Search, including the panic on a mismatched activation width. Workers
-// write disjoint idx[lo·CB : hi·CB] ranges, so the fan-out is race-free
-// by index partitioning.
+// SearchParallel is retained for API compatibility: Search itself now
+// fans out on the shared worker pool, so this is an alias. Results are
+// identical to Search, including the panic on a mismatched activation
+// width.
 func (c *Codebooks) SearchParallel(acts *tensor.Tensor) []uint8 {
-	n, h := acts.Dim(0), acts.Dim(1)
-	if h != c.CB*c.V {
-		panic(fmt.Sprintf("lutnn: activation width %d != CB·V = %d", h, c.CB*c.V))
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || n < 4*workers {
-		return c.Search(acts)
-	}
-	norms := c.centroidSqNorms()
-	idx := make([]uint8, n*c.CB)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				row := acts.Row(i)
-				for cb := 0; cb < c.CB; cb++ {
-					tile := row[cb*c.V : (cb+1)*c.V]
-					best := 0
-					bd := float32(math.MaxFloat32)
-					base := cb * c.CT
-					for ct := 0; ct < c.CT; ct++ {
-						cent := c.Data[(base+ct)*c.V : (base+ct+1)*c.V]
-						var dot float32
-						for v := range tile {
-							dot += tile[v] * cent[v]
-						}
-						d := norms[base+ct] - 2*dot
-						if d < bd {
-							bd = d
-							best = ct
-						}
-					}
-					idx[i*c.CB+cb] = uint8(best)
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return idx
+	return c.Search(acts)
 }
 
 // ApproximationError returns ‖A−Â‖_F / ‖A‖_F for the given activations.

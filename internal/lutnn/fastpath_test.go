@@ -1,0 +1,239 @@
+package lutnn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The golden tests here are the contract of the fast path: every
+// optimized kernel (blocked, unrolled, parallel, fused) must reproduce
+// its retained serial reference bit for bit — compared via Float32bits,
+// so even a +0/−0 flip fails.
+
+// fastLayer builds one converted layer with the given shape; f is chosen
+// by callers to exercise the 8-wide unroll tails (f % 8 ≠ 0) as well as
+// the clean path.
+func fastLayer(t *testing.T, n, h, f, v, ct int, bias bool, seed int64) (*Layer, *tensor.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	acts := tensor.RandN(rng, 1, n, h)
+	w := tensor.RandN(rng, 1, f, h)
+	var b *tensor.Tensor
+	if bias {
+		b = tensor.RandN(rng, 1, f)
+	}
+	layer, err := Convert(w, b, acts, Params{V: v, CT: ct}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layer, acts
+}
+
+func sameBits(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: length %d != %d", name, len(got.Data), len(want.Data))
+	}
+	for i := range got.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d differs bitwise: %x vs %x (%g vs %g)",
+				name, i, math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]),
+				got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestSearchMatchesSerialGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, h, v int
+	}{
+		{"V4", 257, 64, 4},       // odd n exercises the row-pair tail
+		{"V2", 123, 32, 2},       // V=2 specialisation
+		{"V3generic", 64, 48, 3}, // generic fallback
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			layer, acts := fastLayer(t, c.n, c.h, 16, c.v, 16, false, 7)
+			want := layer.Codebooks.searchSerial(acts)
+			got := layer.Codebooks.Search(acts)
+			if !bytes.Equal(got, want) {
+				t.Fatal("Search diverged from searchSerial")
+			}
+			into := make([]uint8, len(want))
+			layer.Codebooks.SearchInto(into, acts)
+			if !bytes.Equal(into, want) {
+				t.Fatal("SearchInto diverged from searchSerial")
+			}
+		})
+	}
+}
+
+func TestLookupMatchesSerialGolden(t *testing.T) {
+	// f=50 exercises the unroll tail (50 = 6×8+2); f=64 the clean path.
+	for _, f := range []int{50, 64} {
+		layer, acts := fastLayer(t, 130, 64, f, 4, 16, false, 9)
+		layer.EnableINT8()
+		n := acts.Dim(0)
+		idx := layer.Codebooks.Search(acts)
+
+		want := layer.Table.lookupSerial(idx, n)
+		sameBits(t, "LUT.Lookup", layer.Table.Lookup(idx, n), want)
+		into := tensor.New(n, f)
+		layer.Table.LookupInto(into, idx, n)
+		sameBits(t, "LUT.LookupInto", into, want)
+
+		qwant := layer.QTable.lookupSerial(idx, n)
+		sameBits(t, "QuantizedLUT.Lookup", layer.QTable.Lookup(idx, n), qwant)
+		qinto := tensor.New(n, f)
+		layer.QTable.LookupInto(qinto, idx, n)
+		sameBits(t, "QuantizedLUT.LookupInto", qinto, qwant)
+	}
+}
+
+// TestLookupFewCodebooks covers CB < 4, where the blocked kernel takes
+// the clear-then-accumulate path instead of the initialising first group.
+func TestLookupFewCodebooks(t *testing.T) {
+	layer, acts := fastLayer(t, 40, 8, 19, 4, 16, false, 11) // CB = 2
+	n := acts.Dim(0)
+	idx := layer.Codebooks.Search(acts)
+	want := layer.Table.lookupSerial(idx, n)
+	sameBits(t, "LUT.Lookup CB=2", layer.Table.Lookup(idx, n), want)
+}
+
+func TestForwardMatchesSerialGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		bias bool
+		int8 bool
+	}{
+		{"fp32", false, false},
+		{"fp32_bias", true, false},
+		{"int8", false, true},
+		{"int8_bias", true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			layer, acts := fastLayer(t, 100, 64, 50, 4, 16, c.bias, 13)
+			if c.int8 {
+				layer.EnableINT8()
+			}
+			want := layer.forwardSerial(acts)
+			sameBits(t, "Forward", layer.Forward(acts), want)
+			f := layer.Table.F
+			into := tensor.New(acts.Dim(0), f)
+			layer.ForwardInto(into, acts)
+			sameBits(t, "ForwardInto", into, want)
+		})
+	}
+}
+
+// TestFastPathDeterministicAcrossGOMAXPROCS runs CCS, both lookups, and
+// the fused forward at GOMAXPROCS 1, 2, and 8 and requires bit-identical
+// outputs. The parallel chunk grid is a pure function of the problem
+// size (internal/parallel contract), so worker count must not matter.
+// GOMAXPROCS=1 additionally forces the inline dispatch path.
+func TestFastPathDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	layer, acts := fastLayer(t, 300, 64, 48, 4, 16, true, 17)
+	layer.EnableINT8()
+	n := acts.Dim(0)
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var refIdx []uint8
+	var refFP, refQ, refFwd *tensor.Tensor
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		idx := layer.Codebooks.Search(acts)
+		fp := layer.Table.Lookup(idx, n)
+		q := layer.QTable.Lookup(idx, n)
+		fwd := layer.Forward(acts)
+		if refIdx == nil {
+			refIdx, refFP, refQ, refFwd = idx, fp, q, fwd
+			continue
+		}
+		if !bytes.Equal(idx, refIdx) {
+			t.Fatalf("Search differs at GOMAXPROCS=%d", procs)
+		}
+		sameBits(t, "LUT.Lookup", fp, refFP)
+		sameBits(t, "QuantizedLUT.Lookup", q, refQ)
+		sameBits(t, "Layer.Forward", fwd, refFwd)
+	}
+}
+
+// TestFastPathZeroAllocSteadyState is the allocation regression test for
+// the Into kernels: after warm-up (scratch pools populated), a call must
+// perform zero heap allocations. AllocsPerRun pins GOMAXPROCS to 1, so
+// this measures the inline dispatch path; the benchmarks in the repo
+// root report allocs for the parallel path.
+func TestFastPathZeroAllocSteadyState(t *testing.T) {
+	layer, acts := fastLayer(t, 64, 64, 48, 4, 16, true, 19)
+	layer.EnableINT8()
+	n := acts.Dim(0)
+	idx := make([]uint8, n*layer.Codebooks.CB)
+	out := tensor.New(n, layer.Table.F)
+
+	// Warm up every pool before measuring.
+	layer.Codebooks.SearchInto(idx, acts)
+	layer.Table.LookupInto(out, idx, n)
+	layer.QTable.LookupInto(out, idx, n)
+	layer.ForwardInto(out, acts)
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"SearchInto", func() { layer.Codebooks.SearchInto(idx, acts) }},
+		{"LUT.LookupInto", func() { layer.Table.LookupInto(out, idx, n) }},
+		{"QuantizedLUT.LookupInto", func() { layer.QTable.LookupInto(out, idx, n) }},
+		{"ForwardInto", func() { layer.ForwardInto(out, acts) }},
+	}
+	for _, c := range checks {
+		if allocs := testing.AllocsPerRun(10, c.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs per call in steady state, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestForwardIntoConcurrentCallers hammers the fused forward from many
+// goroutines sharing one layer; under -race this is the regression test
+// for the pooled scratch (arena and job objects must never be shared
+// between live calls).
+func TestForwardIntoConcurrentCallers(t *testing.T) {
+	layer, acts := fastLayer(t, 128, 64, 32, 4, 16, true, 23)
+	want := layer.forwardSerial(acts)
+
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			out := tensor.New(acts.Dim(0), layer.Table.F)
+			for it := 0; it < 4; it++ {
+				layer.ForwardInto(out, acts)
+				for i := range out.Data {
+					if math.Float32bits(out.Data[i]) != math.Float32bits(want.Data[i]) {
+						done <- errFastpathDiverged
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errFastpathDiverged = errDiverged{}
+
+type errDiverged struct{}
+
+func (errDiverged) Error() string { return "concurrent ForwardInto diverged from forwardSerial" }

@@ -61,11 +61,21 @@ func (l *LUT) SizeBytes(bytesPerElem int) int {
 	return len(l.Data) * bytesPerElem
 }
 
-// Lookup executes the reference table-lookup/accumulate kernel on the
-// host: out[n][f] = Σ_cb LUT[cb][idx[n][cb]][f] (paper §3.2 steps ❻–❼).
-// idx is the N×CB index matrix from Codebooks.Search. It panics if
-// len(idx) is not n·CB.
+// Lookup executes the table-lookup/accumulate kernel on the host:
+// out[n][f] = Σ_cb LUT[cb][idx[n][cb]][f] (paper §3.2 steps ❻–❼).
+// idx is the N×CB index matrix from Codebooks.Search. It runs the
+// blocked parallel kernel (see fastpath.go); results are bit-identical
+// to lookupSerial. It panics if len(idx) is not n·CB.
 func (l *LUT) Lookup(idx []uint8, n int) *tensor.Tensor {
+	out := tensor.New(n, l.F)
+	l.LookupInto(out, idx, n)
+	return out
+}
+
+// lookupSerial is the retained row-at-a-time reference kernel the golden
+// tests compare the blocked implementation against. Like Lookup, it
+// panics if len(idx) is not n·CB.
+func (l *LUT) lookupSerial(idx []uint8, n int) *tensor.Tensor {
 	if len(idx) != n*l.CB {
 		panic(fmt.Sprintf("lutnn: index matrix length %d != N·CB = %d", len(idx), n*l.CB))
 	}
@@ -110,9 +120,21 @@ func (q *QuantizedLUT) Slice(cb, ct int) []int8 {
 func (q *QuantizedLUT) SizeBytes() int { return len(q.Data) }
 
 // Lookup accumulates int8 entries in int32 and rescales to float once at
-// the end, mirroring the UPMEM integer pipeline. It panics if len(idx)
-// is not n·CB.
+// the end, mirroring the UPMEM integer pipeline. It runs the blocked
+// parallel kernel with pooled accumulator scratch (see fastpath.go);
+// results are bit-identical to lookupSerial. It panics if len(idx) is
+// not n·CB.
 func (q *QuantizedLUT) Lookup(idx []uint8, n int) *tensor.Tensor {
+	out := tensor.New(n, q.F)
+	q.LookupInto(out, idx, n)
+	return out
+}
+
+// lookupSerial is the retained reference kernel (per-call accumulator
+// allocation and all) the golden tests compare the blocked
+// implementation against. Like Lookup, it panics if len(idx) is not
+// n·CB.
+func (q *QuantizedLUT) lookupSerial(idx []uint8, n int) *tensor.Tensor {
 	if len(idx) != n*q.CB {
 		panic("lutnn: index matrix length mismatch")
 	}
@@ -182,15 +204,31 @@ func (ly *Layer) EnableINT8() {
 	ly.QTable = ly.Table.Quantize()
 }
 
-// Forward runs the full LUT-NN inference path on the host: CCS then table
-// lookup (+bias). If INT8 is enabled the quantized tables are used.
+// Forward runs the full LUT-NN inference path on the host: CCS fused
+// with table lookup (+bias) per row tile, so indices never materialise
+// as a full N×CB matrix (see ForwardInto in fastpath.go). If INT8 is
+// enabled the quantized tables are used. Results are bit-identical to
+// forwardSerial.
 func (ly *Layer) Forward(acts *tensor.Tensor) *tensor.Tensor {
-	idx := ly.Codebooks.Search(acts)
+	f := ly.Table.F
+	if ly.QTable != nil {
+		f = ly.QTable.F
+	}
+	out := tensor.New(acts.Dim(0), f)
+	ly.ForwardInto(out, acts)
+	return out
+}
+
+// forwardSerial is the retained unfused reference path (serial CCS, then
+// serial lookup over the full index matrix, then bias) the golden tests
+// compare the fused implementation against.
+func (ly *Layer) forwardSerial(acts *tensor.Tensor) *tensor.Tensor {
+	idx := ly.Codebooks.searchSerial(acts)
 	var out *tensor.Tensor
 	if ly.QTable != nil {
-		out = ly.QTable.Lookup(idx, acts.Dim(0))
+		out = ly.QTable.lookupSerial(idx, acts.Dim(0))
 	} else {
-		out = ly.Table.Lookup(idx, acts.Dim(0))
+		out = ly.Table.lookupSerial(idx, acts.Dim(0))
 	}
 	if ly.Bias != nil {
 		tensor.AddBias(out, ly.Bias)

@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// bigWork is comfortably above the inline threshold, forcing the pool
+// path whenever GOMAXPROCS > 1.
+const bigWork = threshold * 32
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000, 4096} {
+		for _, work := range []int{0, threshold - 1, bigWork} {
+			hits := make([]int32, n)
+			For(n, work, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("n=%d work=%d: bad chunk [%d,%d)", n, work, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d work=%d: index %d visited %d times", n, work, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestNumChunksDeterministic(t *testing.T) {
+	// The chunk grid must be a pure function of (n, work): repeated calls
+	// agree, small work is inline, and the grid is bounded by both
+	// maxChunks and n.
+	if got := numChunks(100, threshold-1); got != 1 {
+		t.Errorf("below-threshold work should be one chunk, got %d", got)
+	}
+	if got := numChunks(1, bigWork); got != 1 {
+		t.Errorf("single element should be one chunk, got %d", got)
+	}
+	if got := numChunks(8, bigWork); got > 8 {
+		t.Errorf("chunks %d exceed element count 8", got)
+	}
+	if got := numChunks(1<<20, 1<<30); got > maxChunks {
+		t.Errorf("chunks %d exceed maxChunks %d", got, maxChunks)
+	}
+	for _, n := range []int{2, 100, 1 << 16} {
+		for _, w := range []int{0, threshold, bigWork, 1 << 28} {
+			if a, b := numChunks(n, w), numChunks(n, w); a != b {
+				t.Fatalf("numChunks(%d,%d) not deterministic: %d vs %d", n, w, a, b)
+			}
+		}
+	}
+}
+
+func TestForInlineBelowThreshold(t *testing.T) {
+	// Below-threshold work must run as a single call on the caller's
+	// goroutine: one invocation spanning the whole range.
+	var calls int32
+	var spanned bool
+	For(1000, threshold-1, func(lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		spanned = lo == 0 && hi == 1000
+	})
+	if calls != 1 || !spanned {
+		t.Fatalf("expected one inline call over [0,1000), got %d calls (full span: %v)", calls, spanned)
+	}
+}
+
+func TestNestedForNoDeadlock(t *testing.T) {
+	// Nested For must complete even when the outer call saturates the
+	// pool: the non-blocking handoff degrades inner calls to inline
+	// execution instead of queueing behind their own parents.
+	var total atomic.Int64
+	For(64, bigWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(32, bigWork, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if got := total.Load(); got != 64*32 {
+		t.Fatalf("nested For covered %d elements, want %d", got, 64*32)
+	}
+}
+
+func TestConcurrentCallers(t *testing.T) {
+	// Many goroutines sharing the pool; under -race this doubles as the
+	// regression test for the job free-list and chunk counter.
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 8; it++ {
+				var sum atomic.Int64
+				For(512, bigWork, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						sum.Add(int64(i))
+					}
+				})
+				if got := sum.Load(); got != 512*511/2 {
+					t.Errorf("sum %d != %d", got, 512*511/2)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestGoroutinesBounded(t *testing.T) {
+	// The pool is a fixed worker set: heavy use must not grow the
+	// goroutine count beyond base + poolSize (+ slack for test runners).
+	Workers() // force pool creation before sampling the baseline
+	base := runtime.NumGoroutine()
+	for it := 0; it < 100; it++ {
+		For(256, bigWork, func(lo, hi int) {})
+	}
+	if got := runtime.NumGoroutine(); got > base+2 {
+		t.Fatalf("goroutines grew from %d to %d; pool is leaking", base, got)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+}
+
+// ForCtx with a top-level function and a pooled context must not
+// allocate in steady state. AllocsPerRun pins GOMAXPROCS to 1 (inline
+// dispatch); the parallel path's allocation behaviour is covered by the
+// kernel benchmarks' ReportAllocs.
+type testCtx struct{ sum int64 }
+
+func testCtxFn(ctx any, lo, hi int) {
+	c := ctx.(*testCtx)
+	for i := lo; i < hi; i++ {
+		atomic.AddInt64(&c.sum, 1)
+	}
+}
+
+func TestForCtxZeroAlloc(t *testing.T) {
+	ctx := &testCtx{}
+	ForCtx(256, bigWork, ctx, testCtxFn) // warm-up
+	allocs := testing.AllocsPerRun(10, func() {
+		ForCtx(256, bigWork, ctx, testCtxFn)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForCtx allocated %v per call in steady state, want 0", allocs)
+	}
+}

@@ -2,9 +2,9 @@ package pim
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/lutnn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -317,19 +317,18 @@ func checkShapes(w Workload, m Mapping, idx []uint8, cb, ct, f int) error {
 }
 
 // runPEs executes fn once per simulated PE over that PE's output tile,
-// fanning out across goroutines.
+// fanning out on the shared worker pool (internal/parallel). Each PE
+// writes a disjoint output tile, so results are independent of the
+// worker count.
 func runPEs(w Workload, m Mapping, fn func(rowLo, rowHi, colLo, colHi int)) {
 	groups := w.N / m.NsTile
 	perGroup := w.F / m.FsTile
-	var wg sync.WaitGroup
-	for g := 0; g < groups; g++ {
-		for j := 0; j < perGroup; j++ {
-			wg.Add(1)
-			go func(g, j int) {
-				defer wg.Done()
-				fn(g*m.NsTile, (g+1)*m.NsTile, j*m.FsTile, (j+1)*m.FsTile)
-			}(g, j)
+	pes := groups * perGroup
+	work := w.N * w.F * w.CB / 4 // rough per-element op count across all PEs
+	parallel.For(pes, work, func(lo, hi int) {
+		for pe := lo; pe < hi; pe++ {
+			g, j := pe/perGroup, pe%perGroup
+			fn(g*m.NsTile, (g+1)*m.NsTile, j*m.FsTile, (j+1)*m.FsTile)
 		}
-	}
-	wg.Wait()
+	})
 }

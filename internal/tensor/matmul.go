@@ -1,14 +1,8 @@
 package tensor
 
 import (
-	"runtime"
-	"sync"
+	"repro/internal/parallel"
 )
-
-// matmulParallelThreshold is the per-call FLOP count above which MatMul
-// fans out across goroutines. Small multiplies stay single-threaded to
-// avoid scheduling overhead dominating.
-const matmulParallelThreshold = 1 << 18
 
 // MatMul computes C = A·B for A (m×k) and B (k×n). It panics if the
 // operands are not rank-2 or the inner dimensions disagree — shape bugs
@@ -82,36 +76,11 @@ func matmulInto(c, a, b []float32, m, k, n int) {
 	})
 }
 
-// parallelRows splits [0, m) into per-worker chunks and runs f on each.
-// work is the approximate FLOP count used to decide whether parallelism is
-// worthwhile.
+// parallelRows splits [0, m) into deterministic chunks on the shared
+// worker pool (internal/parallel). work is the approximate FLOP count
+// used to decide whether parallelism is worthwhile.
 func parallelRows(m int, work int, f func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if work < matmulParallelThreshold || workers <= 1 || m < 2 {
-		f(0, m)
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.For(m, work, f)
 }
 
 // Transpose returns Aᵀ for a rank-2 tensor. It panics on other ranks.
