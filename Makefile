@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-faults bench bench-smoke bench-json vet fmt lint experiments examples clean
+.PHONY: all build test test-short test-race test-faults bench bench-smoke bench-json metrics-smoke bench-overhead vet fmt lint experiments examples clean
 
 all: build vet lint test
 
@@ -56,6 +56,32 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/pimdl-bench -exp fig11 -json
 
+# metrics-smoke runs one small pimdl-sim with -metrics and validates the
+# snapshot parses and carries the required series (see DESIGN.md §10).
+metrics-smoke:
+	$(GO) run ./cmd/pimdl-sim -n 64 -h 32 -f 64 -v 4 -ct 8 -metrics metrics-snapshot.json
+	$(GO) run ./cmd/pimdl-metrics-check \
+		-require pimdl_pim_executions_total \
+		-require pimdl_pim_tiles_executed_total \
+		-require pimdl_pim_pe_busy_seconds_total \
+		-require pimdl_pim_time_seconds_total \
+		-require pimdl_pim_host_bytes_total \
+		-require pimdl_pim_mram_read_bytes_total \
+		-require pimdl_parallel_workers \
+		metrics-snapshot.json
+
+# bench-overhead guards the metrics hot-path cost: one process times
+# each kernel (no experiments — their sub-millisecond wall clocks are
+# noise) with metrics recording disabled and enabled, the calls
+# interleaved so machine drift cancels, then -compare fails if the
+# enabled mode is more than 2% slower. Two sequential processes cannot
+# enforce a 2% bound: run-to-run drift on shared CI hosts dwarfs the
+# real sub-1% recording cost.
+bench-overhead:
+	$(GO) run ./cmd/pimdl-bench -exp none -quick -json \
+		-overhead-baseline bench-nometrics.json -o bench-metrics.json
+	$(GO) run ./cmd/pimdl-bench -compare -tolerance 0.02 bench-nometrics.json bench-metrics.json
+
 experiments:
 	$(GO) run ./cmd/pimdl-bench -exp all | tee bench_results.txt
 
@@ -67,4 +93,5 @@ examples:
 	$(GO) run ./examples/serving_sim
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt \
+		metrics-snapshot.json bench-nometrics.json bench-metrics.json

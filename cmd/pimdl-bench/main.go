@@ -28,24 +28,61 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/prof"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id or 'all' ("+strings.Join(experiments.Names(), ", ")+")")
+	exp := flag.String("exp", "all", "experiment id, 'all', or 'none' (kernels only with -json) ("+strings.Join(experiments.Names(), ", ")+")")
 	quick := flag.Bool("quick", false, "reduced-effort accuracy experiments")
 	jsonOut := flag.Bool("json", false, "write wall times and kernel throughput to BENCH_<date>.json")
 	compare := flag.Bool("compare", false, "compare two report files: pimdl-bench -compare old.json new.json")
 	outPath := flag.String("o", "", "output path for -json (default BENCH_<date>.json)")
+	tolerance := flag.Float64("tolerance", bench.DefaultTolerance,
+		"-compare regression threshold as a fraction (0.02 = flag anything >2% slower)")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot to this file after the run (.prom/.txt for Prometheus text, anything else for JSON)")
+	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
+	overheadBaseline := flag.String("overhead-baseline", "",
+		"with -json: time each kernel with metrics recording disabled and enabled, the calls interleaved in this one process so machine drift cancels; the disabled-mode report is written here and the enabled-mode report to -o (feeds the metrics-overhead CI guard)")
 	flag.Parse()
 
+	if *tolerance <= 0 {
+		fmt.Fprintln(os.Stderr, "pimdl-bench: -tolerance must be positive")
+		os.Exit(2)
+	}
 	if *compare {
-		os.Exit(runCompare(flag.Args()))
+		os.Exit(runCompare(flag.Args(), *tolerance))
+	}
+	if *metricsPath != "" {
+		if err := metrics.ValidateOutputPath(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdl-bench: -metrics:", err)
+			os.Exit(2)
+		}
+	}
+	if *pprofDir != "" {
+		stop, err := prof.Start(*pprofDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimdl-bench:", err)
+			os.Exit(2)
+		}
+		// The success path runs to the end of main, so a plain defer never
+		// fires after the os.Exit error paths — those already failed; the
+		// truncated profile is the least of the run's problems.
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "pimdl-bench:", err)
+			}
+		}()
 	}
 
 	names := experiments.Names()
-	if *exp != "all" {
-		names = strings.Split(*exp, ",")
-	} else {
+	switch *exp {
+	case "none":
+		// Kernel measurement only (with -json): the metrics-overhead CI
+		// guard compares steady-state kernel times, where sub-millisecond
+		// experiment wall clocks would only add noise.
+		names = nil
+	case "all":
 		// fig14 and fig15 share one driver; drop the duplicate.
 		var filtered []string
 		for _, n := range names {
@@ -54,6 +91,8 @@ func main() {
 			}
 		}
 		names = filtered
+	default:
+		names = strings.Split(*exp, ",")
 	}
 
 	report := &bench.Report{
@@ -78,12 +117,37 @@ func main() {
 
 	if *jsonOut {
 		fmt.Println("=== kernels ===")
-		kernels, err := bench.Kernels(*quick)
+		var (
+			kernels  []bench.KernelResult
+			baseline *bench.Report
+			err      error
+		)
+		if *overheadBaseline != "" {
+			// Overhead-guard mode: the same process measures each kernel
+			// with recording off and on, interleaved call by call, so the
+			// off/on ratio is immune to the run-to-run drift that makes
+			// two sequential pimdl-bench processes incomparable on noisy
+			// CI hosts.
+			var off []bench.KernelResult
+			off, kernels, err = bench.KernelsAB(*quick, metrics.SetEnabled)
+			if err == nil {
+				baseline = &bench.Report{
+					Schema:     report.Schema,
+					Date:       report.Date,
+					GoMaxProcs: report.GoMaxProcs,
+					Quick:      report.Quick,
+					Kernels:    off,
+				}
+			}
+		} else {
+			kernels, err = bench.Kernels(*quick)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pimdl-bench: kernels: %v\n", err)
 			os.Exit(1)
 		}
 		report.Kernels = kernels
+		report.Metrics = metrics.Default().Flatten()
 		for _, k := range kernels {
 			if k.MBPerSec > 0 {
 				fmt.Printf("%-20s %12.0f ns/op %10.1f MB/s\n", k.Name, k.NsPerOp, k.MBPerSec)
@@ -95,26 +159,43 @@ func main() {
 		if path == "" {
 			path = "BENCH_" + report.Date + ".json"
 		}
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := report.WriteJSON(f); err != nil {
-			_ = f.Close() // the write error is the one worth reporting
-			fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeReport(report, path); err != nil {
 			fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", path)
+		if baseline != nil {
+			if err := writeReport(baseline, *overheadBaseline); err != nil {
+				fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (metrics-disabled baseline)\n", *overheadBaseline)
+		}
+	}
+	if *metricsPath != "" {
+		if err := metrics.Default().WriteFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdl-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsPath)
 	}
 }
 
+// writeReport writes r as indented JSON to path.
+func writeReport(r *bench.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
 // runCompare diffs two -json reports; returns the process exit code.
-func runCompare(paths []string) int {
+func runCompare(paths []string, tolerance float64) int {
 	if len(paths) != 2 {
 		fmt.Fprintln(os.Stderr, "pimdl-bench: -compare wants exactly two report files: old.json new.json")
 		return 2
@@ -129,13 +210,13 @@ func runCompare(paths []string) int {
 		fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
 		return 2
 	}
-	fmt.Print(bench.FormatComparison(base, cur, bench.DefaultTolerance))
-	regs := bench.Compare(base, cur, bench.DefaultTolerance)
+	fmt.Print(bench.FormatComparison(base, cur, tolerance))
+	regs := bench.Compare(base, cur, tolerance)
 	if len(regs) == 0 {
-		fmt.Printf("\nno regressions beyond %.0f%%\n", bench.DefaultTolerance*100)
+		fmt.Printf("\nno regressions beyond %.0f%%\n", tolerance*100)
 		return 0
 	}
-	fmt.Printf("\n%d regression(s) beyond %.0f%%:\n", len(regs), bench.DefaultTolerance*100)
+	fmt.Printf("\n%d regression(s) beyond %.0f%%:\n", len(regs), tolerance*100)
 	for _, r := range regs {
 		fmt.Println("  " + r.String())
 	}

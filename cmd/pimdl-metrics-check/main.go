@@ -1,0 +1,155 @@
+// Command pimdl-metrics-check validates a metrics snapshot file for the
+// CI metrics-smoke step: the snapshot must parse (JSON or Prometheus
+// text, detected by extension the same way the writers pick the format)
+// and contain every series named on the command line.
+//
+//	pimdl-metrics-check -require pimdl_pim_executions_total \
+//	    -require 'pimdl_pim_time_seconds_total{phase="kernel_reduce"}' snap.json
+//
+// A required name matches either a flattened series key exactly or any
+// labeled series of that name (so requiring a family name passes when at
+// least one child exists). Exit codes: 0 ok, 1 validation failure,
+// 2 usage.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// requiredList collects repeated -require flags.
+type requiredList []string
+
+func (r *requiredList) String() string { return strings.Join(*r, ",") }
+func (r *requiredList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	var required requiredList
+	flag.Var(&required, "require", "series that must be present (repeatable; family names match any child)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "pimdl-metrics-check: want exactly one snapshot file")
+		os.Exit(2)
+	}
+	keys, err := loadSnapshot(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimdl-metrics-check:", err)
+		os.Exit(1)
+	}
+	missing := missingSeries(keys, required)
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "pimdl-metrics-check: %s is missing %d required series:\n", flag.Arg(0), len(missing))
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d series, all %d required present\n", flag.Arg(0), len(keys), len(required))
+}
+
+// loadSnapshot parses the snapshot into a key -> value map. JSON
+// snapshots flatten families ({"name": {"label": v}}) and histograms
+// ({"name": {"count": ...}}) into name and name{key="sub"} entries;
+// Prometheus text keeps its native name{label} sample keys.
+func loadSnapshot(path string) (map[string]float64, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".prom", ".txt":
+		return loadPrometheus(path)
+	default:
+		return loadJSON(path)
+	}
+}
+
+func loadJSON(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for name, v := range doc {
+		switch val := v.(type) {
+		case float64:
+			out[name] = val
+		case map[string]any:
+			// A family (label -> value) or a histogram summary object;
+			// either way expose the sub-keys and the bare name.
+			out[name] = 0
+			for sub, sv := range val {
+				if f, ok := sv.(float64); ok {
+					out[name+`{key="`+sub+`"}`] = f
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s contains no series", path)
+	}
+	return out, nil
+}
+
+func loadPrometheus(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() // read-only handle
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("%s: malformed sample line %q", path, line)
+		}
+		val, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad value in %q: %w", path, line, err)
+		}
+		out[line[:i]] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s contains no series", path)
+	}
+	return out, nil
+}
+
+// missingSeries returns the required names with no matching key: an
+// exact key match, or any labeled series sharing the name prefix.
+func missingSeries(keys map[string]float64, required []string) []string {
+	var missing []string
+	for _, want := range required {
+		if _, ok := keys[want]; ok {
+			continue
+		}
+		found := false
+		for k := range keys {
+			if strings.HasPrefix(k, want+"{") || strings.HasPrefix(k, want+"_") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	return missing
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadJSONSnapshot(t *testing.T) {
+	path := writeTemp(t, "snap.json", `{
+		"pimdl_pim_executions_total": 3,
+		"pimdl_pim_time_seconds_total": {"kernel_xfer": 0.5, "host_index": 0.1},
+		"pimdl_serving_latency_seconds": {"count": 10, "sum": 1.5, "p50": 0.1}
+	}`)
+	keys, err := loadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys["pimdl_pim_executions_total"] != 3 {
+		t.Fatalf("executions = %g", keys["pimdl_pim_executions_total"])
+	}
+	if keys[`pimdl_pim_time_seconds_total{key="kernel_xfer"}`] != 0.5 {
+		t.Fatalf("family child missing: %v", keys)
+	}
+	if len(missingSeries(keys, []string{"pimdl_pim_time_seconds_total", "pimdl_serving_latency_seconds"})) != 0 {
+		t.Fatal("family/histogram names should match via children")
+	}
+	missing := missingSeries(keys, []string{"pimdl_engine_estimates_total"})
+	if len(missing) != 1 {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+func TestLoadPrometheusSnapshot(t *testing.T) {
+	path := writeTemp(t, "snap.prom", `# HELP pimdl_pim_executions_total functional executions
+# TYPE pimdl_pim_executions_total counter
+pimdl_pim_executions_total 3
+pimdl_pim_time_seconds_total{phase="kernel_xfer"} 0.5
+pimdl_serving_latency_seconds_count 10
+`)
+	keys, err := loadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys["pimdl_pim_executions_total"] != 3 {
+		t.Fatalf("executions = %g", keys["pimdl_pim_executions_total"])
+	}
+	if keys[`pimdl_pim_time_seconds_total{phase="kernel_xfer"}`] != 0.5 {
+		t.Fatalf("labeled sample missing: %v", keys)
+	}
+	// Requiring the bare histogram name matches the _count sample.
+	if len(missingSeries(keys, []string{"pimdl_serving_latency_seconds", "pimdl_pim_time_seconds_total"})) != 0 {
+		t.Fatal("prefix matching failed")
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := loadSnapshot(writeTemp(t, "bad.json", "not json")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+	if _, err := loadSnapshot(writeTemp(t, "bad.prom", "name_without_value\n")); err == nil {
+		t.Fatal("accepted malformed Prometheus text")
+	}
+	if _, err := loadSnapshot(writeTemp(t, "empty.json", "{}")); err == nil {
+		t.Fatal("accepted empty snapshot")
+	}
+}

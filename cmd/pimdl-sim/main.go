@@ -16,13 +16,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 
 	"repro/internal/autotuner"
 	"repro/internal/lutnn"
 	"repro/internal/mapping"
+	"repro/internal/metrics"
 	"repro/internal/pim"
+	"repro/internal/prof"
 	"repro/internal/tensor"
 )
 
@@ -32,6 +35,8 @@ type simConfig struct {
 	n, h, f, v, ct int
 	seed           int64
 	faults         pim.FaultPlan
+	metricsPath    string // write a metrics snapshot here after the run
+	pprofDir       string // write cpu/heap profiles into this directory
 }
 
 // parseFlags parses and validates args (without the program name),
@@ -51,6 +56,8 @@ func parseFlags(args []string, stderr io.Writer) (*simConfig, error) {
 	faultFlip := fs.Float64("fault-flip", 0, "per-transfer DMA corruption probability [0,1]")
 	faultStraggler := fs.Float64("fault-straggler", 0, "per-PE straggler slowdown spread (>= 0)")
 	faultSeed := fs.Int64("fault-seed", 1, "fault plan seed")
+	metricsPath := fs.String("metrics", "", "write a metrics snapshot to this file after the run (.prom/.txt for Prometheus text, anything else for JSON)")
+	pprofDir := fs.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -91,6 +98,17 @@ func parseFlags(args []string, stderr io.Writer) (*simConfig, error) {
 	if err := cfg.faults.Validate(); err != nil {
 		return nil, fmt.Errorf("fault flags: %v", err)
 	}
+	cfg.metricsPath, cfg.pprofDir = *metricsPath, *pprofDir
+	if cfg.metricsPath != "" {
+		if err := metrics.ValidateOutputPath(cfg.metricsPath); err != nil {
+			return nil, fmt.Errorf("-metrics: %v", err)
+		}
+	}
+	if cfg.pprofDir != "" {
+		if err := prof.ValidateDir(cfg.pprofDir); err != nil {
+			return nil, fmt.Errorf("-pprof: %v", err)
+		}
+	}
 	return cfg, nil
 }
 
@@ -129,6 +147,7 @@ func run(cfg *simConfig, out io.Writer) error {
 		tuned.Mapping, tuned.Mapping.PEs(w), tuned.Evaluated)
 
 	idx := layer.Codebooks.Search(acts)
+	before := metrics.Default().Flatten()
 	res, err := pim.ExecuteLUTWithFaults(plat, w, tuned.Mapping, idx, layer.Table, cfg.faults)
 	if err != nil {
 		return err
@@ -157,6 +176,29 @@ func run(cfg *simConfig, out io.Writer) error {
 	stdout.printf("  host: index %.3g s | LUT send %.3g s | output %.3g s\n", tm.HostIndex, tm.HostLUT, tm.HostOutput)
 	stdout.printf("  kernel: transfer %.3g s | reduce %.3g s\n", tm.KernelXfer, tm.KernelRed)
 	stdout.printf("  total: %.4g s across %d PEs\n", tm.Total(), res.PEs)
+
+	if metrics.Enabled() {
+		// Cross-check the observability layer against the timing model:
+		// the per-phase counters this execution added must sum to the
+		// model's own total (they are read off the same structures).
+		after := metrics.Default().Flatten()
+		var phaseSum float64
+		for _, ph := range []string{"host_index", "host_lut", "host_output", "kernel_xfer", "kernel_reduce"} {
+			k := `pimdl_pim_time_seconds_total{phase="` + ph + `"}`
+			phaseSum += after[k] - before[k]
+		}
+		diff := math.Abs(phaseSum - tm.Total())
+		if diff > 1e-9 {
+			return fmt.Errorf("metrics drifted from timing model: phase sum %.12g vs total %.12g", phaseSum, tm.Total())
+		}
+		stdout.printf("\nMetrics consistency: phase counters sum to timing total (|diff| = %.3g s)\n", diff)
+	}
+	if cfg.metricsPath != "" {
+		if err := metrics.Default().WriteFile(cfg.metricsPath); err != nil {
+			return err
+		}
+		stdout.printf("wrote metrics snapshot to %s\n", cfg.metricsPath)
+	}
 	return stdout.err
 }
 
@@ -166,8 +208,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pimdl-sim:", err)
 		os.Exit(1)
 	}
+	// os.Exit skips deferred profile finalization, so the profiled body
+	// runs in its own function and the exit code propagates out.
+	os.Exit(profiledMain(cfg))
+}
+
+// profiledMain runs the simulation under the optional CPU/heap profiler
+// and returns the process exit code.
+func profiledMain(cfg *simConfig) int {
+	if cfg.pprofDir != "" {
+		stop, err := prof.Start(cfg.pprofDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimdl-sim:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "pimdl-sim:", err)
+			}
+		}()
+	}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pimdl-sim:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -32,6 +33,18 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"flip-above-one", []string{"-fault-flip", "1.5"}, "fault flags"},
 		{"negative-straggler", []string{"-fault-straggler", "-2"}, "fault flags"},
 		{"unparseable", []string{"-n", "lots"}, "invalid value"},
+		{"metrics-ok", []string{"-metrics", filepath.Join(t.TempDir(), "snap.json")}, ""},
+		{"metrics-prom-ok", []string{"-metrics", filepath.Join(t.TempDir(), "snap.prom")}, ""},
+		{"metrics-missing-parent", []string{"-metrics", "/nonexistent/deep/snap.json"},
+			"parent directory"},
+		{"metrics-parent-is-file", []string{"-metrics", "/dev/null/snap.json"},
+			"not a directory"},
+		{"metrics-target-is-dir", []string{"-metrics", t.TempDir()}, "is a directory"},
+		{"pprof-ok", []string{"-pprof", filepath.Join(t.TempDir(), "profiles")}, ""},
+		{"pprof-existing-dir-ok", []string{"-pprof", t.TempDir()}, ""},
+		{"pprof-missing-parent", []string{"-pprof", "/nonexistent/deep/profiles"},
+			"parent directory"},
+		{"pprof-target-is-file", []string{"-pprof", "/dev/null"}, "not a directory"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -14,7 +14,9 @@ import (
 
 	"repro/internal/autotuner"
 	"repro/internal/mapping"
+	"repro/internal/metrics"
 	"repro/internal/pim"
+	"repro/internal/prof"
 )
 
 func platformByName(name string) (*pim.Platform, error) {
@@ -39,7 +41,25 @@ func main() {
 	ct := flag.Int("ct", 16, "centroids per codebook CT")
 	elem := flag.Int("elem", 0, "LUT element bytes (default: platform native)")
 	maxDiv := flag.Int("maxdiv", 8, "divisor candidates per dimension")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot to this file after tuning (.prom/.txt for Prometheus text, anything else for JSON)")
+	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory (profiles the search)")
 	flag.Parse()
+
+	if *metricsPath != "" {
+		if err := metrics.ValidateOutputPath(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdl-tune: -metrics:", err)
+			os.Exit(1)
+		}
+	}
+	var stopProf func() error
+	if *pprofDir != "" {
+		var err error
+		stopProf, err = prof.Start(*pprofDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimdl-tune:", err)
+			os.Exit(1)
+		}
+	}
 
 	var plat *pim.Platform
 	var err error
@@ -86,4 +106,18 @@ func main() {
 	fmt.Printf("  breakdown (sim):   index %.3g s | LUT send %.3g s | output %.3g s | kernel xfer %.3g s | reduce %.3g s\n",
 		res.Simulated.HostIndex, res.Simulated.HostLUT, res.Simulated.HostOutput,
 		res.Simulated.KernelXfer, res.Simulated.KernelRed)
+
+	if stopProf != nil {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdl-tune:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		if err := metrics.Default().WriteFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdl-tune:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsPath)
+	}
 }

@@ -50,6 +50,12 @@ type Report struct {
 	Quick       bool               `json:"quick,omitempty"`
 	Experiments []ExperimentResult `json:"experiments,omitempty"`
 	Kernels     []KernelResult     `json:"kernels,omitempty"`
+	// Metrics is the flattened metrics snapshot taken after the run
+	// (schema addition, field 7): series key -> value, as produced by
+	// metrics.Registry.Flatten. -compare diffs the counters of two
+	// reports so regressions in simulated work (bytes moved, tiles
+	// executed, retries) surface next to wall-time regressions.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // WriteJSON writes the report, indented, to w.
@@ -94,10 +100,61 @@ func Measure(name string, bytesPerOp int64, fn func()) KernelResult {
 		total += time.Since(start)
 		ops++
 	}
-	ns := float64(total.Nanoseconds()) / float64(ops)
-	res := KernelResult{Name: name, NsPerOp: ns, Ops: ops}
-	if bytesPerOp > 0 {
-		res.MBPerSec = float64(bytesPerOp) / (ns / 1e9) / 1e6
+	return kernelResult(name, bytesPerOp, float64(total.Nanoseconds())/float64(ops), ops)
+}
+
+// MeasureAB times fn under two modes — setMode(false) first, then
+// setMode(true) — with the timed calls strictly interleaved
+// off,on,off,on,... so slow environment drift (CPU frequency scaling,
+// co-tenant load on a shared host) hits both modes equally and cancels
+// out of the off/on ratio. Two sequential Measure runs cannot offer
+// that: on a noisy host the later run is systematically slower
+// regardless of mode, which swamps small per-mode costs.
+//
+// Unlike Measure, the reported NsPerOp is each mode's fastest observed
+// call, not the mean: external noise (scheduler preemption, cache
+// eviction by co-tenants) only ever inflates a call, while a real
+// per-mode cost is present in every call — so comparing minima isolates
+// the mode difference from residual per-call noise. Each mode
+// accumulates at least minMeasure of timed work; fn is left in the
+// setMode(true) state on return.
+func MeasureAB(name string, bytesPerOp int64, setMode func(on bool), fn func()) (off, on KernelResult) {
+	setMode(false)
+	fn() // warm up both modes before timing anything
+	setMode(true)
+	fn()
+	var (
+		pairs             int
+		offTotal, onTotal time.Duration
+		offBest, onBest   time.Duration
+	)
+	for offTotal < minMeasure || onTotal < minMeasure || pairs < 2 {
+		setMode(false)
+		start := time.Now()
+		fn()
+		d := time.Since(start)
+		offTotal += d
+		if offBest == 0 || d < offBest {
+			offBest = d
+		}
+		setMode(true)
+		start = time.Now()
+		fn()
+		d = time.Since(start)
+		onTotal += d
+		if onBest == 0 || d < onBest {
+			onBest = d
+		}
+		pairs++
+	}
+	return kernelResult(name, bytesPerOp, float64(offBest.Nanoseconds()), pairs),
+		kernelResult(name, bytesPerOp, float64(onBest.Nanoseconds()), pairs)
+}
+
+func kernelResult(name string, bytesPerOp int64, nsPerOp float64, ops int) KernelResult {
+	res := KernelResult{Name: name, NsPerOp: nsPerOp, Ops: ops}
+	if bytesPerOp > 0 && nsPerOp > 0 {
+		res.MBPerSec = float64(bytesPerOp) / (nsPerOp / 1e9) / 1e6
 	}
 	return res
 }

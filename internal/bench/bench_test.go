@@ -116,3 +116,42 @@ func TestMeasureSanity(t *testing.T) {
 		t.Errorf("throughput reported without bytesPerOp: %v", noBytes.MBPerSec)
 	}
 }
+
+func TestMeasureABInterleavesModes(t *testing.T) {
+	var modes []bool
+	mode := false
+	setMode := func(on bool) { mode = on }
+	sink := 0.0
+	off, on := MeasureAB("noop", 1000, setMode, func() {
+		modes = append(modes, mode)
+		for i := 0; i < 1000; i++ { // nonzero per-call time so minima stay positive
+			sink += float64(i)
+		}
+	})
+	_ = sink
+	if !mode {
+		t.Error("MeasureAB must leave the mode enabled on return")
+	}
+	if off.Name != "noop" || on.Name != "noop" {
+		t.Errorf("names = %q, %q", off.Name, on.Name)
+	}
+	if off.Ops != on.Ops || off.Ops < 2 {
+		t.Errorf("pair counts = %d, %d; want equal and >= 2", off.Ops, on.Ops)
+	}
+	// Call sequence: one off warm-up, one on warm-up, then strict
+	// off/on alternation — never two timed calls in the same mode.
+	if len(modes) != 2+2*off.Ops {
+		t.Fatalf("fn called %d times, want %d", len(modes), 2+2*off.Ops)
+	}
+	for i, m := range modes {
+		if want := i%2 == 1; m != want {
+			t.Fatalf("call %d ran with mode %v, want %v (sequence %v)", i, m, want, modes)
+		}
+	}
+	if off.NsPerOp < 0 || on.NsPerOp < 0 {
+		t.Errorf("negative ns/op: %v, %v", off.NsPerOp, on.NsPerOp)
+	}
+	if off.MBPerSec <= 0 || on.MBPerSec <= 0 {
+		t.Errorf("throughput missing despite bytesPerOp: %v, %v", off.MBPerSec, on.MBPerSec)
+	}
+}

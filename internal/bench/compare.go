@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -97,6 +98,43 @@ func FormatComparison(base, cur *Report, tolerance float64) string {
 		if o, ok := oldExps[e.Name]; ok {
 			row("exp/"+e.Name+" (s)", o.WallSeconds, e.WallSeconds)
 		}
+	}
+	b.WriteString(FormatMetricsDiff(base, cur))
+	return b.String()
+}
+
+// FormatMetricsDiff renders the embedded metrics snapshots' differing
+// series side by side (keys present in both reports only). Counter
+// drift is informational — the simulated array doing different work is
+// a behaviour change, not a performance regression — so no series is
+// flagged; identical values are omitted to keep the table short.
+func FormatMetricsDiff(base, cur *Report) string {
+	if len(base.Metrics) == 0 || len(cur.Metrics) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(cur.Metrics))
+	for k := range cur.Metrics {
+		if _, ok := base.Metrics[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	header := false
+	for _, k := range keys {
+		o, n := base.Metrics[k], cur.Metrics[k]
+		if diff := o - n; diff == 0 { //pimdl:lint-ignore float-compare identical snapshot values carry no information; only exact equality is skipped
+			continue
+		}
+		if !header {
+			b.WriteString("\nmetrics snapshot diff (changed series):\n")
+			header = true
+		}
+		delta := "n/a"
+		if o != 0 { //pimdl:lint-ignore float-compare exact-zero baseline cannot be a ratio denominator
+			delta = fmt.Sprintf("%+.1f%%", (n/o-1)*100)
+		}
+		fmt.Fprintf(&b, "  %-44s %14.6g %14.6g %9s\n", k, o, n, delta)
 	}
 	return b.String()
 }

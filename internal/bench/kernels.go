@@ -20,11 +20,19 @@ const (
 // quickKernelN shrinks the row count under -quick (CI smoke runs).
 const quickKernelN = 256
 
-// Kernels measures the steady-state host kernels — CCS, FP32 and INT8
-// table lookup, and the fused forward — into KernelResults. The
-// measured calls are the zero-allocation Into variants: that is the
+// kernelSpec is one measurable kernel: its report name, the bytes a
+// single call streams (for MB/s), and the call itself.
+type kernelSpec struct {
+	name  string
+	bytes int64
+	fn    func()
+}
+
+// kernelSpecs builds the steady-state host kernels — CCS, FP32 and INT8
+// table lookup, and the fused forward — over one converted layer. The
+// calls are the zero-allocation Into variants: that is the
 // per-inference hot path once buffers are set up.
-func Kernels(quick bool) ([]KernelResult, error) {
+func kernelSpecs(quick bool) ([]kernelSpec, error) {
 	n := kernelN
 	if quick {
 		n = quickKernelN
@@ -46,19 +54,50 @@ func Kernels(quick bool) ([]KernelResult, error) {
 	// One output matrix plus one index matrix streamed per lookup call.
 	lookupBytes := int64(n*kernelF*4 + len(idx))
 
-	results := []KernelResult{
-		Measure("ccs", actBytes, func() {
+	return []kernelSpec{
+		{"ccs", actBytes, func() {
 			layer.Codebooks.SearchInto(idx, acts)
-		}),
-		Measure("lut_lookup_fp32", lookupBytes, func() {
+		}},
+		{"lut_lookup_fp32", lookupBytes, func() {
 			layer.Table.LookupInto(out, idx, n)
-		}),
-		Measure("lut_lookup_int8", lookupBytes, func() {
+		}},
+		{"lut_lookup_int8", lookupBytes, func() {
 			qt.LookupInto(out, idx, n)
-		}),
-		Measure("forward_fused_fp32", actBytes, func() {
+		}},
+		{"forward_fused_fp32", actBytes, func() {
 			layer.ForwardInto(out, acts)
-		}),
+		}},
+	}, nil
+}
+
+// Kernels measures every kernel with Measure and returns the results.
+func Kernels(quick bool) ([]KernelResult, error) {
+	specs, err := kernelSpecs(quick)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]KernelResult, 0, len(specs))
+	for _, s := range specs {
+		results = append(results, Measure(s.name, s.bytes, s.fn))
 	}
 	return results, nil
+}
+
+// KernelsAB measures every kernel with MeasureAB, toggling setMode
+// between interleaved calls, and returns the setMode(false) and
+// setMode(true) result sets. It backs the metrics-overhead CI guard:
+// `pimdl-bench -overhead-baseline` passes metrics.SetEnabled as the
+// mode switch so recording-off and recording-on share one process and
+// one drift environment.
+func KernelsAB(quick bool, setMode func(on bool)) (off, on []KernelResult, err error) {
+	specs, err := kernelSpecs(quick)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range specs {
+		o, n := MeasureAB(s.name, s.bytes, setMode, s.fn)
+		off = append(off, o)
+		on = append(on, n)
+	}
+	return off, on, nil
 }

@@ -47,7 +47,8 @@ func (e *Engine) EstimateDegraded(cfg Config, plan pim.FaultPlan) (*DegradedRepo
 	c := cfg.Model
 	n := cfg.rows()
 	rep := &DegradedReport{
-		Report:     Report{Config: fmt.Sprintf("PIM-DL/%s/degraded", cfg.Platform.Name), Batch: cfg.Batch, SeqLen: c.SeqLen},
+		Report: Report{Config: fmt.Sprintf("PIM-DL/%s/degraded", cfg.Platform.Name), Batch: cfg.Batch, SeqLen: c.SeqLen,
+			ArrayPEs: cfg.Platform.NumPE},
 		Plan:       plan,
 		HealthyPEs: af.Healthy(),
 	}
@@ -126,5 +127,6 @@ func (e *Engine) EstimateDegraded(cfg Config, plan pim.FaultPlan) (*DegradedRepo
 			rep.HostTime += elem
 		}
 	}
+	recordReport(&rep.Report)
 	return rep, nil
 }

@@ -53,6 +53,10 @@ type OpCost struct {
 	Role  nn.LinearRole // valid for linear-derived ops
 	Time  float64
 	OnPIM bool
+	// PEs is the number of PEs the operator occupies while it runs
+	// (PIM-side ops only; 0 for host ops). The trace exporter renders
+	// PEs/ArrayPEs as the PE-utilization counter track.
+	PEs int
 	// Recovery carries the fault-tolerance activity of a degraded LUT
 	// operator (EstimateDegraded only; nil otherwise).
 	Recovery *pim.Recovery
@@ -69,6 +73,9 @@ type Report struct {
 	SeqLen   int
 	HostTime float64 // total host-busy seconds
 	PIMTime  float64 // total PIM-busy seconds
+	// ArrayPEs is the size of the physical PE array the schedule ran
+	// against (0 for host-only configurations).
+	ArrayPEs int
 }
 
 // Total returns end-to-end latency (host and PIM serialized, as in the
@@ -169,14 +176,16 @@ func (e *Engine) otherOps(cfg Config, layer int, onPIM bool) []OpCost {
 	att := cfg.Host.AttentionTime(cfg.Batch, c.SeqLen, c.Hidden, c.Heads, cfg.HostPrec)
 	elems := 4*n*c.Hidden + n*c.FFN // LN+residual (H-wide) + GELU (FFN-wide)
 	var elem float64
+	var elemPEs int
 	if onPIM && cfg.Platform != nil {
 		elem = pim.ElementwiseOnPIM(cfg.Platform, elems)
+		elemPEs = cfg.Platform.NumPE // elementwise stripes over the whole array
 	} else {
 		elem = cfg.Host.ElementwiseTime(elems)
 	}
 	return []OpCost{
 		{Name: "Attention", Class: ClassOther, Layer: layer, Time: att},
-		{Name: "Elementwise", Class: ClassOther, Layer: layer, Time: elem, OnPIM: onPIM},
+		{Name: "Elementwise", Class: ClassOther, Layer: layer, Time: elem, OnPIM: onPIM, PEs: elemPEs},
 	}
 }
 
@@ -185,7 +194,8 @@ func (e *Engine) otherOps(cfg Config, layer int, onPIM bool) []OpCost {
 func (e *Engine) EstimatePIMDL(cfg Config) (*Report, error) {
 	c := cfg.Model
 	n := cfg.rows()
-	rep := &Report{Config: "PIM-DL/" + cfg.Platform.Name, Batch: cfg.Batch, SeqLen: c.SeqLen}
+	rep := &Report{Config: "PIM-DL/" + cfg.Platform.Name, Batch: cfg.Batch, SeqLen: c.SeqLen,
+		ArrayPEs: cfg.Platform.NumPE}
 	for layer := 0; layer < c.Layers; layer++ {
 		for _, role := range nn.Roles {
 			f, h := c.LinearShape(role)
@@ -205,7 +215,7 @@ func (e *Engine) EstimatePIMDL(cfg Config) (*Report, error) {
 			rep.Ops = append(rep.Ops,
 				OpCost{Name: "CCS-" + role.String(), Class: ClassCCS, Layer: layer, Role: role, Time: ccs},
 				OpCost{Name: "LUT-" + role.String(), Class: ClassLUT, Layer: layer, Role: role,
-					Time: lutTime, OnPIM: true},
+					Time: lutTime, OnPIM: true, PEs: tuned.Mapping.PEs(w)},
 			)
 			rep.HostTime += ccs
 			rep.PIMTime += lutTime
@@ -215,6 +225,7 @@ func (e *Engine) EstimatePIMDL(cfg Config) (*Report, error) {
 		rep.HostTime += others[0].Time
 		rep.PIMTime += others[1].Time
 	}
+	recordReport(rep)
 	return rep, nil
 }
 
@@ -223,14 +234,15 @@ func (e *Engine) EstimatePIMDL(cfg Config) (*Report, error) {
 func (e *Engine) EstimatePIMGEMM(cfg Config) (*Report, error) {
 	c := cfg.Model
 	n := cfg.rows()
-	rep := &Report{Config: "PIM-GEMM/" + cfg.Platform.Name, Batch: cfg.Batch, SeqLen: c.SeqLen}
+	rep := &Report{Config: "PIM-GEMM/" + cfg.Platform.Name, Batch: cfg.Batch, SeqLen: c.SeqLen,
+		ArrayPEs: cfg.Platform.NumPE}
 	for layer := 0; layer < c.Layers; layer++ {
 		for _, role := range nn.Roles {
 			f, h := c.LinearShape(role)
 			gw := pim.GEMMWorkload{N: n, H: h, F: f, Batch: cfg.Batch, ElemBytes: cfg.Platform.ElemBytes}
 			t := pim.GEMMOnPIM(cfg.Platform, gw).Total()
 			rep.Ops = append(rep.Ops, OpCost{Name: "GEMM-" + role.String(), Class: ClassOther,
-				Layer: layer, Role: role, Time: t, OnPIM: true})
+				Layer: layer, Role: role, Time: t, OnPIM: true, PEs: cfg.Platform.NumPE})
 			rep.PIMTime += t
 		}
 		others := e.otherOps(cfg, layer, true)
@@ -238,6 +250,7 @@ func (e *Engine) EstimatePIMGEMM(cfg Config) (*Report, error) {
 		rep.HostTime += others[0].Time
 		rep.PIMTime += others[1].Time
 	}
+	recordReport(rep)
 	return rep, nil
 }
 
@@ -259,6 +272,7 @@ func (e *Engine) EstimateHost(cfg Config) *Report {
 		rep.Ops = append(rep.Ops, others...)
 		rep.HostTime += others[0].Time + others[1].Time
 	}
+	recordReport(rep)
 	return rep
 }
 

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Engine-layer metrics: per-OpClass and per-LinearRole invocation and
+// modelled-time counters, accumulated every time an Estimate* method
+// produces a report. The class split mirrors Fig. 11-(a) (LUT / CCS /
+// Other) and the role split mirrors Fig. 11-(b) (QKV / Out / FFN1 /
+// FFN2), so a metrics snapshot of a serving process carries the same
+// breakdown the paper plots.
+var (
+	engEstimates    *metrics.Counter
+	engOps          *metrics.CounterFamily
+	engClassSeconds *metrics.FloatCounterFamily
+	engRoleSeconds  *metrics.FloatCounterFamily
+	engFallbackOps  *metrics.Counter
+)
+
+func init() {
+	r := metrics.Default()
+	engEstimates = r.NewCounter("pimdl_engine_estimates_total",
+		"end-to-end reports produced (all configurations)")
+	engOps = r.NewCounterFamily("pimdl_engine_ops_total",
+		"scheduled operator instances by class (Fig. 11-a buckets)", "class")
+	engClassSeconds = r.NewFloatCounterFamily("pimdl_engine_class_seconds_total",
+		"modelled operator seconds by class", "class")
+	engRoleSeconds = r.NewFloatCounterFamily("pimdl_engine_role_seconds_total",
+		"modelled linear-operator seconds by role (CCS+LUT or GEMM)", "role")
+	engFallbackOps = r.NewCounter("pimdl_engine_fallback_ops_total",
+		"LUT operators that ran as host GEMM because the degraded array could not host them")
+}
+
+// recordReport folds one report's schedule into the engine counters.
+func recordReport(rep *Report) {
+	if !metrics.Enabled() {
+		return
+	}
+	engEstimates.Inc()
+	for _, op := range rep.Ops {
+		class := op.Class.String()
+		engOps.With(class).Inc()
+		engClassSeconds.With(class).Add(op.Time)
+		// Linear-derived ops (the RoleTime condition): LUT/CCS pairs in
+		// PIM-DL mode, GEMMs elsewhere.
+		if op.Class == ClassLUT || op.Class == ClassCCS || strings.HasPrefix(op.Name, "GEMM-") {
+			engRoleSeconds.With(op.Role.String()).Add(op.Time)
+		}
+		if op.Fallback {
+			engFallbackOps.Inc()
+		}
+	}
+}

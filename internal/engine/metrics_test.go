@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/pim"
+)
+
+// metricsDelta runs fn and returns the change of every default-registry
+// series across it.
+func metricsDelta(fn func()) map[string]float64 {
+	before := metrics.Default().Flatten()
+	fn()
+	after := metrics.Default().Flatten()
+	for k, v := range before {
+		after[k] -= v
+	}
+	return after
+}
+
+// TestEngineMetricsMatchReport: the class/role second counters recorded
+// for one estimate equal the report's own ClassTime/RoleTime sums.
+func TestEngineMetricsMatchReport(t *testing.T) {
+	e := New()
+	cfg := bertBaseCfg()
+	cfg.Model.Layers = 1
+
+	var rep *Report
+	d := metricsDelta(func() {
+		var err error
+		rep, err = e.EstimatePIMDL(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if d["pimdl_engine_estimates_total"] != 1 {
+		t.Fatalf("estimates delta %g, want 1", d["pimdl_engine_estimates_total"])
+	}
+	for _, c := range []OpClass{ClassLUT, ClassCCS, ClassOther} {
+		got := d[`pimdl_engine_class_seconds_total{class="`+c.String()+`"}`]
+		if math.Abs(got-rep.ClassTime(c)) > 1e-12 {
+			t.Fatalf("class %v seconds %g != report %g", c, got, rep.ClassTime(c))
+		}
+		var n int
+		for _, op := range rep.Ops {
+			if op.Class == c {
+				n++
+			}
+		}
+		if ops := d[`pimdl_engine_ops_total{class="`+c.String()+`"}`]; ops != float64(n) {
+			t.Fatalf("class %v ops %g != %d", c, ops, n)
+		}
+	}
+	for _, role := range nn.Roles {
+		got := d[`pimdl_engine_role_seconds_total{role="`+role.String()+`"}`]
+		if math.Abs(got-rep.RoleTime(role)) > 1e-12 {
+			t.Fatalf("role %v seconds %g != report %g", role, got, rep.RoleTime(role))
+		}
+	}
+	if d["pimdl_engine_fallback_ops_total"] != 0 {
+		t.Fatalf("unexpected fallback ops %g", d["pimdl_engine_fallback_ops_total"])
+	}
+}
+
+// TestEngineMetricsCountFallbacks: a killed array yields fallback GEMMs
+// and the counter tracks the report's FallbackOps.
+func TestEngineMetricsCountFallbacks(t *testing.T) {
+	e := New()
+	cfg := bertBaseCfg()
+	cfg.Model.Layers = 1
+
+	var rep *DegradedReport
+	d := metricsDelta(func() {
+		var err error
+		rep, err = e.EstimateDegraded(cfg, pim.FaultPlan{Seed: 5, DeadPEFraction: 0.999})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if rep.FallbackOps == 0 {
+		t.Fatal("expected fallbacks on a dead array")
+	}
+	if got := d["pimdl_engine_fallback_ops_total"]; got != float64(rep.FallbackOps) {
+		t.Fatalf("fallback counter %g != report %d", got, rep.FallbackOps)
+	}
+}

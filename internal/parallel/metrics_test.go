@@ -1,0 +1,75 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// metricsDelta runs fn and returns the change of every default-registry
+// series across it.
+func metricsDelta(fn func()) map[string]float64 {
+	before := metrics.Default().Flatten()
+	fn()
+	after := metrics.Default().Flatten()
+	for k, v := range before {
+		after[k] -= v
+	}
+	return after
+}
+
+// TestPoolMetricsCountDispatchShapes: inline calls and parallel jobs land
+// in their respective counters, and the chunk counter matches the
+// deterministic grid.
+func TestPoolMetricsCountDispatchShapes(t *testing.T) {
+	var ran atomic.Int64
+
+	d := metricsDelta(func() {
+		For(10, 1, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+	})
+	if d["pimdl_parallel_inline_total"] != 1 {
+		t.Fatalf("inline delta %g, want 1", d["pimdl_parallel_inline_total"])
+	}
+	if d["pimdl_parallel_jobs_total"] != 0 {
+		t.Fatalf("jobs delta %g, want 0", d["pimdl_parallel_jobs_total"])
+	}
+
+	const n = 1 << 12
+	work := threshold * 8 // deterministic grid: 8 chunks
+	d = metricsDelta(func() {
+		For(n, work, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+	})
+	if Workers() > 1 {
+		if d["pimdl_parallel_jobs_total"] != 1 {
+			t.Fatalf("jobs delta %g, want 1", d["pimdl_parallel_jobs_total"])
+		}
+		if got, want := d["pimdl_parallel_chunks_total"], float64(numChunks(n, work)); got != want {
+			t.Fatalf("chunks delta %g, want %g", got, want)
+		}
+		if d["pimdl_parallel_workers"] <= 0 && metrics.Default().Flatten()["pimdl_parallel_workers"] != float64(Workers()) {
+			t.Fatalf("workers gauge not set to pool size")
+		}
+	} else {
+		if d["pimdl_parallel_inline_total"] != 1 {
+			t.Fatalf("single-proc fallback not counted inline")
+		}
+	}
+	if ran.Load() != 10+n {
+		t.Fatalf("ran %d elements, want %d", ran.Load(), 10+n)
+	}
+}
+
+// TestPoolMetricsDisabled: with the gate off, dispatches record nothing.
+func TestPoolMetricsDisabled(t *testing.T) {
+	metrics.SetEnabled(false)
+	defer metrics.SetEnabled(true)
+	d := metricsDelta(func() {
+		For(1<<12, threshold*4, func(lo, hi int) {})
+	})
+	for k, v := range d {
+		if v != 0 {
+			t.Fatalf("series %s changed by %g while disabled", k, v)
+		}
+	}
+}

@@ -73,6 +73,7 @@ func initPool() {
 		poolSize = 1
 	}
 	jobCh = make(chan *job)
+	poolMetrics.workers.Set(float64(poolSize))
 	for i := 0; i < poolSize; i++ {
 		go worker()
 	}
@@ -80,7 +81,9 @@ func initPool() {
 
 func worker() {
 	for j := range jobCh {
+		workerEnter()
 		j.run()
+		workerExit()
 		j.wg.Done()
 	}
 }
@@ -156,6 +159,7 @@ func ForCtx(n, work int, ctx any, fn func(ctx any, lo, hi int)) {
 	}
 	chunks := numChunks(n, work)
 	if chunks <= 1 || runtime.GOMAXPROCS(0) <= 1 {
+		recordInline()
 		fn(ctx, 0, n)
 		return
 	}
@@ -177,15 +181,19 @@ func ForCtx(n, work int, ctx any, fn func(ctx any, lo, hi int)) {
 	if helpers > poolSize {
 		helpers = poolSize
 	}
+	engaged, saturated := 0, false
 	for i := 0; i < helpers; i++ {
 		j.wg.Add(1)
 		select {
 		case jobCh <- j:
+			engaged++
 		default:
 			j.wg.Done()
+			saturated = true
 			i = helpers // stop offering; no worker is idle
 		}
 	}
+	recordDispatch(chunks, engaged, saturated)
 	j.run()
 	j.wg.Wait()
 

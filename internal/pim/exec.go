@@ -141,11 +141,32 @@ func countEvents(p *Platform, w Workload, m Mapping) Events {
 	return ev
 }
 
-// timing converts event counts plus host-transfer sizes into seconds.
-func timing(p *Platform, w Workload, m Mapping, ev Events) Timing {
-	npe := m.PEs(w)
-	var t Timing
+// HostTraffic is the Eq. 4 host↔PE transfer decomposition of one LUT
+// operator: the bytes each sub-LUT partition phase moves and the bus
+// mode it moves them in. The timing model and the metrics layer both
+// read these — the byte counters exported per run are exactly the
+// numbers the model converts into seconds, not a parallel estimate.
+type HostTraffic struct {
+	IndexBytes, LUTBytes, OutputBytes float64
+	IndexMode, LUTMode                TransferMode
+}
 
+// BroadcastBytes returns the bytes that travel in broadcast mode.
+func (h HostTraffic) BroadcastBytes() float64 {
+	var b float64
+	if h.IndexMode == Broadcast {
+		b += h.IndexBytes
+	}
+	if h.LUTMode == Broadcast {
+		b += h.LUTBytes
+	}
+	return b
+}
+
+// HostTrafficFor computes the host-transfer sizes and modes for mapping
+// m on workload w (see HostTraffic).
+func HostTrafficFor(p *Platform, w Workload, m Mapping) HostTraffic {
+	npe := m.PEs(w)
 	// Sub-LUT partition transfers (Eq. 4): each PE receives its index tile
 	// and LUT tile; reuse across a group/row of PEs upgrades the transfer
 	// to broadcast bandwidth (paper L1). On shared-memory platforms the
@@ -155,21 +176,29 @@ func timing(p *Platform, w Workload, m Mapping, ev Events) Timing {
 		idxCopies = float64(m.Groups(w))
 		lutCopies = float64(m.PEsPerGroup(w))
 	}
-	idxBytes := float64(m.NsTile*w.CB) * idxCopies
-	idxMode := Scatter
+	ht := HostTraffic{
+		IndexBytes:  float64(m.NsTile*w.CB) * idxCopies,
+		LUTBytes:    float64(w.CB*w.CT*m.FsTile*w.ElemBytes) * lutCopies,
+		OutputBytes: float64(w.OutputBytes()),
+		IndexMode:   Scatter,
+		LUTMode:     Scatter,
+	}
 	if m.PEsPerGroup(w) > 1 {
-		idxMode = Broadcast
+		ht.IndexMode = Broadcast
 	}
-	t.HostIndex = p.HostTransferTime(idxBytes, idxMode)
-
-	lutBytes := float64(w.CB*w.CT*m.FsTile*w.ElemBytes) * lutCopies
-	lutMode := Scatter
 	if m.Groups(w) > 1 {
-		lutMode = Broadcast
+		ht.LUTMode = Broadcast
 	}
-	t.HostLUT = p.HostTransferTime(lutBytes, lutMode)
+	return ht
+}
 
-	t.HostOutput = p.HostTransferTime(float64(w.OutputBytes()), Gather)
+// timing converts event counts plus host-transfer sizes into seconds.
+func timing(p *Platform, w Workload, m Mapping, ev Events) Timing {
+	var t Timing
+	ht := HostTrafficFor(p, w, m)
+	t.HostIndex = p.HostTransferTime(ht.IndexBytes, ht.IndexMode)
+	t.HostLUT = p.HostTransferTime(ht.LUTBytes, ht.LUTMode)
+	t.HostOutput = p.HostTransferTime(ht.OutputBytes, Gather)
 
 	// LUT traffic pays the index-driven access derating; the streaming
 	// tensors (index, output) run at full bank bandwidth.

@@ -379,7 +379,9 @@ func executeTiles(p *Platform, w Workload, m Mapping, idx []uint8, plan FaultPla
 			t := tile{rowLo, rowHi, colLo, colHi}
 			kernel(t, idx[rowLo*w.CB:rowHi*w.CB], out)
 		})
-		return &Result{Output: out, Events: ev, Timing: timing(p, w, m, ev), PEs: m.PEs(w)}, nil
+		res := &Result{Output: out, Events: ev, Timing: timing(p, w, m, ev), PEs: m.PEs(w)}
+		recordExecution(p, w, m, res)
+		return res, nil
 	}
 	af, err := plan.Instantiate(p.NumPE)
 	if err != nil {
@@ -424,13 +426,15 @@ func executeTiles(p *Platform, w Workload, m Mapping, idx []uint8, plan FaultPla
 		rec.Retries += r.Retries
 		rec.ResidualCorrupt += r.ResidualCorrupt
 	}
-	return &Result{
+	res := &Result{
 		Output:   out,
 		Events:   ev,
 		Timing:   faultTiming(p, w, m, ev, af, assign),
 		PEs:      m.PEs(w),
 		Recovery: &rec,
-	}, nil
+	}
+	recordExecution(p, w, m, res)
+	return res, nil
 }
 
 // runPESet executes fn once per physical PE that has work, fanning out

@@ -1,0 +1,124 @@
+package pim
+
+import "repro/internal/metrics"
+
+// This file exports the simulator's per-resource activity as metrics.
+// Every number recorded here is read straight off the structures the
+// timing model already computes — Events (per-PE DMA counts), Timing
+// (Eq. 3–10 seconds) and HostTraffic (Eq. 4 bytes) — so the counters are
+// the model's own numbers, not a parallel estimate:
+//
+//	pimdl_pim_time_seconds_total{phase}  sums exactly to Timing.Total()
+//	pimdl_pim_pe_busy_seconds_total      equals Σ Timing.Kernel() (worst-PE
+//	                                     busy time, the Eq. 6 term)
+//	pimdl_pim_mram_*_bytes_total         per-PE Events bytes × PEs used
+//	pimdl_pim_host_bytes_total{dir}      the Eq. 4 transfer sizes
+//
+// Counters accumulate over functional executions (ExecuteLUT* and the
+// fault variants); pure timing queries (SimTiming, the auto-tuner's
+// thousands of candidate evaluations) record nothing, so the totals mean
+// "work the simulated array actually did".
+var (
+	pimMetrics = struct {
+		executions *metrics.Counter
+		tiles      *metrics.Counter
+		peBusy     *metrics.FloatCounter
+		time       *metrics.FloatCounterFamily
+		timeBy     map[string]*metrics.FloatCounter
+		mramRead   *metrics.Counter
+		mramWrite  *metrics.Counter
+		dmaOps     *metrics.Counter
+		hostBytes  *metrics.CounterFamily
+		hostBy     map[string]*metrics.Counter
+		broadcast  *metrics.Counter
+		retries    *metrics.Counter
+		redispatch *metrics.Counter
+		deadPEs    *metrics.Counter
+		residual   *metrics.Counter
+	}{}
+)
+
+func init() {
+	r := metrics.Default()
+	m := &pimMetrics
+	m.executions = r.NewCounter("pimdl_pim_executions_total",
+		"functional LUT operator executions on the simulated array")
+	m.tiles = r.NewCounter("pimdl_pim_tiles_executed_total",
+		"output tiles executed by PEs, including fault re-dispatches")
+	m.peBusy = r.NewFloatCounter("pimdl_pim_pe_busy_seconds_total",
+		"modelled worst-PE kernel busy time (Eq. 6: transfer + reduce)")
+	m.time = r.NewFloatCounterFamily("pimdl_pim_time_seconds_total",
+		"modelled operator seconds by phase (Eqs. 3-10); the family sums to Timing.Total()", "phase")
+	m.timeBy = map[string]*metrics.FloatCounter{
+		"host_index":    m.time.With("host_index"),
+		"host_lut":      m.time.With("host_lut"),
+		"host_output":   m.time.With("host_output"),
+		"kernel_xfer":   m.time.With("kernel_xfer"),
+		"kernel_reduce": m.time.With("kernel_reduce"),
+	}
+	m.mramRead = r.NewCounter("pimdl_pim_mram_read_bytes_total",
+		"bank->buffer DMA bytes across all used PEs (index + LUT + output reload)")
+	m.mramWrite = r.NewCounter("pimdl_pim_mram_write_bytes_total",
+		"buffer->bank DMA bytes across all used PEs (output stores)")
+	m.dmaOps = r.NewCounter("pimdl_pim_dma_ops_total",
+		"bank<->buffer DMA operations across all used PEs")
+	m.hostBytes = r.NewCounterFamily("pimdl_pim_host_bytes_total",
+		"host<->PE bytes of the sub-LUT partition (Eq. 4)", "dir")
+	m.hostBy = map[string]*metrics.Counter{
+		"index":  m.hostBytes.With("index"),
+		"lut":    m.hostBytes.With("lut"),
+		"output": m.hostBytes.With("output"),
+	}
+	m.broadcast = r.NewCounter("pimdl_pim_broadcast_bytes_total",
+		"host->PE bytes that travel in broadcast mode (paper L1 reuse)")
+	m.retries = r.NewCounter("pimdl_pim_dma_retries_total",
+		"checksum-failed DMA transfers re-issued by the fault layer")
+	m.redispatch = r.NewCounter("pimdl_pim_redispatched_tiles_total",
+		"tiles re-dispatched from dead PEs onto healthy ones")
+	m.deadPEs = r.NewCounter("pimdl_pim_dead_pe_total",
+		"dead PEs encountered among the used set, summed over executions")
+	m.residual = r.NewCounter("pimdl_pim_residual_corrupt_total",
+		"output elements left corrupted after the DMA retry budget")
+}
+
+// recordExecution folds one functional execution's model numbers into
+// the metrics registry.
+func recordExecution(p *Platform, w Workload, m Mapping, res *Result) {
+	if !metrics.Enabled() {
+		return
+	}
+	pm := &pimMetrics
+	pm.executions.Inc()
+
+	tiles := int64(res.PEs)
+	if rec := res.Recovery; rec != nil {
+		tiles += int64(rec.Redispatched)
+		pm.retries.Add(int64(rec.Retries))
+		pm.redispatch.Add(int64(rec.Redispatched))
+		pm.deadPEs.Add(int64(rec.DeadPEs))
+		pm.residual.Add(int64(rec.ResidualCorrupt))
+	}
+	pm.tiles.Add(tiles)
+
+	tm := res.Timing
+	pm.timeBy["host_index"].Add(tm.HostIndex)
+	pm.timeBy["host_lut"].Add(tm.HostLUT)
+	pm.timeBy["host_output"].Add(tm.HostOutput)
+	pm.timeBy["kernel_xfer"].Add(tm.KernelXfer)
+	pm.timeBy["kernel_reduce"].Add(tm.KernelRed)
+	pm.peBusy.Add(tm.Kernel())
+
+	// Per-PE DMA activity scaled to the whole used array: every PE runs
+	// the same micro kernel on identically sized tiles (paper L3).
+	npe := int64(res.PEs)
+	ev := res.Events
+	pm.mramRead.Add((ev.IndexLoadBytes + ev.LUTLoadBytes + ev.OutLoadBytes) * npe)
+	pm.mramWrite.Add(ev.OutStoreBytes * npe)
+	pm.dmaOps.Add(int64(ev.IndexLoadOps+ev.LUTLoadOps+ev.OutLoadOps+ev.OutStoreOps) * npe)
+
+	ht := HostTrafficFor(p, w, m)
+	pm.hostBy["index"].Add(int64(ht.IndexBytes))
+	pm.hostBy["lut"].Add(int64(ht.LUTBytes))
+	pm.hostBy["output"].Add(int64(ht.OutputBytes))
+	pm.broadcast.Add(int64(ht.BroadcastBytes()))
+}

@@ -1,0 +1,198 @@
+package pim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lutnn"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// metricsDelta runs fn and returns the change of every default-registry
+// series across it.
+func metricsDelta(fn func()) map[string]float64 {
+	before := metrics.Default().Flatten()
+	fn()
+	after := metrics.Default().Flatten()
+	for k, v := range before {
+		after[k] -= v
+	}
+	return after
+}
+
+// TestExecutionMetricsMatchTimingModel pins the acceptance property of
+// the observability layer: after one functional execution, the per-phase
+// time counters sum to the execution's Timing.Total() and the byte
+// counters equal the Events the timing model consumed — the same
+// numbers, not a parallel estimate.
+func TestExecutionMetricsMatchTimingModel(t *testing.T) {
+	p := UPMEM()
+	w := Workload{N: 64, CB: 8, CT: 8, F: 64, ElemBytes: 4}
+	m := firstLegalMapping(t, p, w)
+
+	rng := rand.New(rand.NewSource(5))
+	tbl := randomLUT(rng, w)
+	idx := randomIdx(rng, w)
+
+	var res *Result
+	d := metricsDelta(func() {
+		var err error
+		res, err = ExecuteLUT(p, w, m, idx, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if d["pimdl_pim_executions_total"] != 1 {
+		t.Fatalf("executions delta %g, want 1", d["pimdl_pim_executions_total"])
+	}
+	if got := d["pimdl_pim_tiles_executed_total"]; got != float64(res.PEs) {
+		t.Fatalf("tiles %g, want %d", got, res.PEs)
+	}
+
+	phases := []string{"host_index", "host_lut", "host_output", "kernel_xfer", "kernel_reduce"}
+	var sum float64
+	for _, ph := range phases {
+		sum += d[`pimdl_pim_time_seconds_total{phase="`+ph+`"}`]
+	}
+	if math.Abs(sum-res.Timing.Total()) > 1e-9 {
+		t.Fatalf("phase counters sum %g != Timing.Total %g", sum, res.Timing.Total())
+	}
+	if got := d["pimdl_pim_pe_busy_seconds_total"]; math.Abs(got-res.Timing.Kernel()) > 1e-9 {
+		t.Fatalf("pe busy %g != Kernel %g", got, res.Timing.Kernel())
+	}
+	for ph, want := range map[string]float64{
+		"host_index":    res.Timing.HostIndex,
+		"host_lut":      res.Timing.HostLUT,
+		"host_output":   res.Timing.HostOutput,
+		"kernel_xfer":   res.Timing.KernelXfer,
+		"kernel_reduce": res.Timing.KernelRed,
+	} {
+		// Not exact: the delta is (prior + want) - prior on an accumulating
+		// counter, which earlier recordings in the package round at the
+		// last ulp.
+		if got := d[`pimdl_pim_time_seconds_total{phase="`+ph+`"}`]; math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+			t.Fatalf("phase %s counter %g != model %g", ph, got, want)
+		}
+	}
+
+	ev, npe := res.Events, float64(res.PEs)
+	if got := d["pimdl_pim_mram_read_bytes_total"]; got != float64(ev.IndexLoadBytes+ev.LUTLoadBytes+ev.OutLoadBytes)*npe {
+		t.Fatalf("mram read bytes %g", got)
+	}
+	if got := d["pimdl_pim_mram_write_bytes_total"]; got != float64(ev.OutStoreBytes)*npe {
+		t.Fatalf("mram write bytes %g", got)
+	}
+	if got := d["pimdl_pim_dma_ops_total"]; got != float64(ev.IndexLoadOps+ev.LUTLoadOps+ev.OutLoadOps+ev.OutStoreOps)*npe {
+		t.Fatalf("dma ops %g", got)
+	}
+
+	ht := HostTrafficFor(p, w, m)
+	for dir, want := range map[string]float64{
+		"index":  ht.IndexBytes,
+		"lut":    ht.LUTBytes,
+		"output": ht.OutputBytes,
+	} {
+		if got := d[`pimdl_pim_host_bytes_total{dir="`+dir+`"}`]; got != math.Trunc(want) {
+			t.Fatalf("host bytes %s: %g != %g", dir, got, want)
+		}
+	}
+	if got := d["pimdl_pim_broadcast_bytes_total"]; got != math.Trunc(ht.BroadcastBytes()) {
+		t.Fatalf("broadcast bytes %g != %g", got, ht.BroadcastBytes())
+	}
+}
+
+// TestFaultExecutionMetrics checks the recovery counters flow through:
+// retries, re-dispatches and dead PEs recorded equal the Recovery report.
+func TestFaultExecutionMetrics(t *testing.T) {
+	p := UPMEM()
+	w := Workload{N: 64, CB: 8, CT: 8, F: 64, ElemBytes: 4}
+	m := firstLegalMapping(t, p, w)
+
+	rng := rand.New(rand.NewSource(7))
+	tbl := randomLUT(rng, w)
+	idx := randomIdx(rng, w)
+	plan := FaultPlan{Seed: 3, DeadPEFraction: 0.3, FlipRate: 0.1}
+
+	var res *Result
+	d := metricsDelta(func() {
+		var err error
+		res, err = ExecuteLUTWithFaults(p, w, m, idx, tbl, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	rec := res.Recovery
+	if rec == nil {
+		t.Fatal("no recovery report")
+	}
+	if got := d["pimdl_pim_dma_retries_total"]; got != float64(rec.Retries) {
+		t.Fatalf("retries %g != %d", got, rec.Retries)
+	}
+	if got := d["pimdl_pim_redispatched_tiles_total"]; got != float64(rec.Redispatched) {
+		t.Fatalf("redispatched %g != %d", got, rec.Redispatched)
+	}
+	if got := d["pimdl_pim_dead_pe_total"]; got != float64(rec.DeadPEs) {
+		t.Fatalf("dead PEs %g != %d", got, rec.DeadPEs)
+	}
+	if got := d["pimdl_pim_tiles_executed_total"]; got != float64(res.PEs+rec.Redispatched) {
+		t.Fatalf("tiles %g != %d", got, res.PEs+rec.Redispatched)
+	}
+}
+
+// TestMetricsDisabledRecordsNothing: with the global gate off, an
+// execution leaves every pim series untouched.
+func TestMetricsDisabledRecordsNothing(t *testing.T) {
+	metrics.SetEnabled(false)
+	defer metrics.SetEnabled(true)
+
+	p := UPMEM()
+	w := Workload{N: 64, CB: 8, CT: 8, F: 64, ElemBytes: 4}
+	m := firstLegalMapping(t, p, w)
+	rng := rand.New(rand.NewSource(9))
+	tbl := randomLUT(rng, w)
+	idx := randomIdx(rng, w)
+
+	d := metricsDelta(func() {
+		if _, err := ExecuteLUT(p, w, m, idx, tbl); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for k, v := range d {
+		if v != 0 {
+			t.Fatalf("series %s changed by %g while disabled", k, v)
+		}
+	}
+}
+
+// --- helpers -----------------------------------------------------------
+
+// firstLegalMapping returns a valid mapping for (p, w) the way the other
+// pim tests construct one.
+func firstLegalMapping(t *testing.T, p *Platform, w Workload) Mapping {
+	t.Helper()
+	m := Mapping{
+		NsTile: 32, FsTile: 32, NmTile: 8, FmTile: 8, CBmTile: 4,
+		CBLoadTile: 4, FLoadTile: 8, Scheme: CoarseLoad,
+		Traversal: [3]Loop{LoopN, LoopCB, LoopF},
+	}
+	if err := m.Validate(p, w); err != nil {
+		t.Fatalf("test mapping invalid: %v", err)
+	}
+	return m
+}
+
+func randomLUT(rng *rand.Rand, w Workload) *lutnn.LUT {
+	data := tensor.RandN(rng, 1, w.CB*w.CT, w.F)
+	return &lutnn.LUT{CB: w.CB, CT: w.CT, F: w.F, Data: data.Data}
+}
+
+func randomIdx(rng *rand.Rand, w Workload) []uint8 {
+	idx := make([]uint8, w.N*w.CB)
+	for i := range idx {
+		idx[i] = uint8(rng.Intn(w.CT))
+	}
+	return idx
+}

@@ -1,0 +1,81 @@
+// Package prof wires Go's built-in pprof profilers to a flag-friendly
+// start/stop pair: Start(dir) begins a CPU profile in dir/cpu.pprof and
+// the returned stop function finalizes it and adds a post-GC heap
+// profile in dir/heap.pprof. The commands expose it as -pprof <dir>;
+// inspect the output with `go tool pprof <binary> <dir>/cpu.pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start creates dir if needed and begins CPU profiling into
+// dir/cpu.pprof. The returned stop function stops the CPU profile and
+// writes a heap profile (after a forced GC, so it reflects live memory)
+// to dir/heap.pprof, returning the first error encountered.
+func Start(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		_ = cpu.Close()
+		return nil, fmt.Errorf("prof: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		first := cpu.Close()
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return firstErr(first)
+		}
+		runtime.GC() // heap profile of live objects, not garbage
+		if err := pprof.WriteHeapProfile(heap); err != nil && first == nil {
+			first = err
+		}
+		if err := heap.Close(); err != nil && first == nil {
+			first = err
+		}
+		return firstErr(first)
+	}, nil
+}
+
+func firstErr(err error) error {
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	return nil
+}
+
+// ValidateDir rejects -pprof targets that cannot become a profile
+// directory: an existing non-directory path, or a missing path whose
+// parent directory does not exist (Start only creates the final
+// component's chain under an existing parent by design — a deep typo
+// should fail at flag-parse time, not after a long run).
+func ValidateDir(dir string) error {
+	if fi, err := os.Stat(dir); err == nil {
+		if !fi.IsDir() {
+			return fmt.Errorf("prof: %s exists and is not a directory", dir)
+		}
+		return nil
+	}
+	parent := filepath.Dir(dir)
+	fi, err := os.Stat(parent)
+	if err != nil {
+		return fmt.Errorf("prof: parent directory %s does not exist", parent)
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("prof: parent %s is not a directory", parent)
+	}
+	return nil
+}

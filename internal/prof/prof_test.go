@@ -1,0 +1,80 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartStopWritesProfiles: a start/stop cycle leaves non-empty
+// cpu.pprof and heap.pprof files in a directory Start created itself.
+func TestStartStopWritesProfiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "profiles")
+	stop, err := Start(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += float64(i) * 1.0000001
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+// TestStartTwiceFails: the runtime supports one CPU profile at a time;
+// the second Start must surface that as an error, not a panic.
+func TestStartTwiceFails(t *testing.T) {
+	stop, err := Start(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if _, err := Start(t.TempDir()); err == nil {
+		t.Fatal("second concurrent Start succeeded")
+	}
+}
+
+// TestValidateDir pins the -pprof path validation contract.
+func TestValidateDir(t *testing.T) {
+	tmp := t.TempDir()
+	file := filepath.Join(tmp, "f")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dir string
+		ok  bool
+	}{
+		{tmp, true},                          // existing directory
+		{filepath.Join(tmp, "new"), true},    // creatable under existing parent
+		{file, false},                        // exists but is a file
+		{filepath.Join(file, "sub"), false},  // parent is a file
+		{"/nonexistent/deep/profdir", false}, // missing parent chain
+	}
+	for _, c := range cases {
+		err := ValidateDir(c.dir)
+		if c.ok && err != nil {
+			t.Fatalf("ValidateDir(%s) = %v, want nil", c.dir, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("ValidateDir(%s) accepted an unusable path", c.dir)
+		}
+	}
+}

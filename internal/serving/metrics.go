@@ -1,0 +1,86 @@
+package serving
+
+import "repro/internal/metrics"
+
+// Serving-layer metrics: request/batch throughput counters, latency and
+// batch-size distributions, live queue depth, and the robustness drop
+// counters. The latency histogram's p50/p95/p99 quantile samples give a
+// running process the same tail statistics Trace.Percentile computes
+// exactly post-hoc, without retaining per-request slices.
+var servingMetrics = struct {
+	requests  *metrics.Counter
+	batches   *metrics.Counter
+	latency   *metrics.Histogram
+	batchSize *metrics.Histogram
+	queue     *metrics.Gauge
+	queuePeak *metrics.Gauge
+	retries   *metrics.Counter
+	timeouts  *metrics.Counter
+	failures  *metrics.Counter
+	expired   *metrics.Counter
+}{}
+
+func init() {
+	r := metrics.Default()
+	m := &servingMetrics
+	m.requests = r.NewCounter("pimdl_serving_requests_total",
+		"requests served to completion (dropped requests excluded)")
+	m.batches = r.NewCounter("pimdl_serving_batches_total",
+		"batches dispatched to the backend")
+	// 100 µs .. ~105 s in ×2 steps covers engine latencies from single
+	// UPMEM ops to large degraded batches.
+	m.latency = r.NewHistogram("pimdl_serving_latency_seconds",
+		"end-to-end request latency (arrival to completion)",
+		metrics.ExpBuckets(1e-4, 2, 21))
+	m.batchSize = r.NewHistogram("pimdl_serving_batch_size",
+		"dispatched batch sizes",
+		metrics.ExpBuckets(1, 2, 11))
+	m.queue = r.NewGauge("pimdl_serving_queue_depth",
+		"requests waiting at the batcher (last observed)")
+	m.queuePeak = r.NewGauge("pimdl_serving_queue_depth_peak",
+		"high-water mark of the batcher queue")
+	m.retries = r.NewCounter("pimdl_serving_retries_total",
+		"batch execution attempts beyond the first")
+	m.timeouts = r.NewCounter("pimdl_serving_timeouts_total",
+		"requests dropped because their deadline passed unserved")
+	m.failures = r.NewCounter("pimdl_serving_failures_total",
+		"requests dropped with their batch's retry budget spent")
+	m.expired = r.NewCounter("pimdl_serving_expired_total",
+		"requests served but completed past their deadline")
+}
+
+// observeQueueDepth tracks the batcher queue as it grows and drains.
+func observeQueueDepth(depth int) {
+	if !metrics.Enabled() {
+		return
+	}
+	servingMetrics.queue.Set(float64(depth))
+	servingMetrics.queuePeak.SetMax(float64(depth))
+}
+
+// recordBatch folds one dispatched batch and its completions into the
+// serving metrics.
+func recordBatch(batch int, completions []Completion) {
+	if !metrics.Enabled() {
+		return
+	}
+	m := &servingMetrics
+	m.batches.Inc()
+	m.batchSize.Observe(float64(batch))
+	for _, c := range completions {
+		m.requests.Inc()
+		m.latency.Observe(c.Latency())
+	}
+}
+
+// recordDrops folds the robustness drop deltas of one dispatch round.
+func recordDrops(retries, timeouts, failures, expired int) {
+	if !metrics.Enabled() {
+		return
+	}
+	m := &servingMetrics
+	m.retries.Add(int64(retries))
+	m.timeouts.Add(int64(timeouts))
+	m.failures.Add(int64(failures))
+	m.expired.Add(int64(expired))
+}

@@ -119,10 +119,26 @@ func (t *Trace) MeanLatency() float64 {
 	return s / float64(len(t.Completions))
 }
 
-// Percentile returns the p-th latency percentile (p in [0,100]).
+// Percentile returns the p-th latency percentile computed with the
+// nearest-rank method over the sorted completion latencies (exact, no
+// interpolation). Edge cases are explicit and pinned by tests:
+//
+//   - an empty trace returns 0 (there is no latency to report);
+//   - p is clamped to [0, 100]: p <= 0 returns the minimum latency and
+//     p >= 100 the maximum;
+//   - a NaN p is treated as 0 (the minimum).
+//
+// This is the exact path over the full completion slice; for a running
+// process the serving metrics expose the same p50/p95/p99 as streaming
+// histogram quantiles (see pimdl_serving_latency_seconds).
 func (t *Trace) Percentile(p float64) float64 {
 	if len(t.Completions) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
 	}
 	ls := make([]float64, len(t.Completions))
 	for i, c := range t.Completions {
@@ -192,6 +208,7 @@ func SimulateRobust(arrivals []float64, lat LatencyModel, pol Policy, rob Robust
 			queue = append(queue, arrivals[next])
 			next++
 		}
+		observeQueueDepth(len(queue))
 		if len(queue) == 0 {
 			// Idle: jump to the next arrival.
 			now = arrivals[next]
@@ -220,15 +237,19 @@ func SimulateRobust(arrivals []float64, lat LatencyModel, pol Policy, rob Robust
 		}
 		// Shed requests whose deadline passed before service could start.
 		if rob.Deadline > 0 {
+			shed := 0
 			kept := queue[:0]
 			for _, arr := range queue {
 				if arr+rob.Deadline <= dispatch {
 					tr.Timeouts++
+					shed++
 				} else {
 					kept = append(kept, arr)
 				}
 			}
 			queue = kept
+			recordDrops(0, shed, 0, 0)
+			observeQueueDepth(len(queue))
 			if len(queue) == 0 {
 				if dispatch > now {
 					now = dispatch
@@ -244,6 +265,7 @@ func SimulateRobust(arrivals []float64, lat LatencyModel, pol Policy, rob Robust
 		if b > pol.MaxBatch {
 			b = pol.MaxBatch
 		}
+		retries0, failures0, expired0, compl0 := tr.Retries, tr.Failures, tr.Expired, len(tr.Completions)
 		dur := lat(b)
 		start := dispatch
 		failed := false
@@ -274,6 +296,9 @@ func SimulateRobust(arrivals []float64, lat LatencyModel, pol Policy, rob Robust
 		}
 		queue = append([]float64(nil), queue[b:]...)
 		tr.Batches++
+		recordBatch(b, tr.Completions[compl0:])
+		recordDrops(tr.Retries-retries0, 0, tr.Failures-failures0, tr.Expired-expired0)
+		observeQueueDepth(len(queue))
 		now = done
 		if done > tr.Makespan {
 			tr.Makespan = done

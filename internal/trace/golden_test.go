@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/nn"
+	"repro/internal/pim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport is a fixed schedule exercising every event kind the
+// exporter emits: complete events on both tracks, every fault-instant
+// category, and both counter tracks (PE utilization + queue depth).
+func goldenReport() *engine.Report {
+	return &engine.Report{
+		Config:   "golden/UPMEM",
+		Batch:    8,
+		SeqLen:   128,
+		ArrayPEs: 2048,
+		Ops: []engine.OpCost{
+			{Name: "CCS-QKV", Class: engine.ClassCCS, Layer: 0, Role: nn.RoleQKV, Time: 0.001},
+			{Name: "LUT-QKV", Class: engine.ClassLUT, Layer: 0, Role: nn.RoleQKV,
+				Time: 0.004, OnPIM: true, PEs: 1024,
+				Recovery: &pim.Recovery{DeadPEs: 3, Redispatched: 5, Retries: 7,
+					ResidualCorrupt: 2, WorstSlowdown: 1.25}},
+			{Name: "GEMM-FFN1-fallback", Class: engine.ClassOther, Layer: 0, Role: nn.RoleFFN1,
+				Time: 0.010, Fallback: true},
+			{Name: "Elementwise", Class: engine.ClassOther, Layer: 0,
+				Time: 0.002, OnPIM: true, PEs: 2048},
+		},
+	}
+}
+
+// TestExportGolden pins the full exporter output byte-for-byte: the JSON
+// encoder sorts map keys and structs serialize in field order, so the
+// document is deterministic. Regenerate with `go test -run Golden -update`
+// after an intentional format change and review the diff.
+func TestExportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Export(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export drifted from golden file %s\ngot:  %s\nwant: %s", path, buf.Bytes(), want)
+	}
+}
+
+// TestExportCounterTracks checks the counter-track semantics on a PIM
+// report: PE utilization samples PEs/ArrayPEs while a PIM op runs and 0
+// otherwise, queue depth counts down to 0 at the drain point.
+func TestExportCounterTracks(t *testing.T) {
+	rep := goldenReport()
+	var buf bytes.Buffer
+	if err := Export(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var util, depth []float64
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "C" {
+			continue
+		}
+		args := ev["args"].(map[string]any)
+		switch ev["name"] {
+		case "PE utilization":
+			util = append(util, args["util"].(float64))
+		case "queue depth":
+			depth = append(depth, args["ops"].(float64))
+		default:
+			t.Fatalf("unexpected counter track %v", ev["name"])
+		}
+	}
+	// Boundaries: CCS (host, 0), LUT (1024/2048), fallback GEMM (host, 0),
+	// elementwise (2048/2048), drain (0).
+	wantUtil := []float64{0, 0.5, 0, 1, 0}
+	wantDepth := []float64{4, 3, 2, 1, 0}
+	if len(util) != len(wantUtil) {
+		t.Fatalf("utilization samples %v", util)
+	}
+	for i := range wantUtil {
+		if util[i] != wantUtil[i] {
+			t.Fatalf("utilization[%d] = %g, want %g (%v)", i, util[i], wantUtil[i], util)
+		}
+		if depth[i] != wantDepth[i] {
+			t.Fatalf("depth[%d] = %g, want %g (%v)", i, depth[i], wantDepth[i], depth)
+		}
+	}
+}

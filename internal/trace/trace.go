@@ -37,6 +37,18 @@ type instant struct {
 	Args map[string]string `json:"args,omitempty"`
 }
 
+// counterEvent is one Chrome trace counter sample (ph = "C"): Perfetto
+// renders each distinct name as its own counter track, stepping to the
+// sampled value at each timestamp.
+type counterEvent struct {
+	Name string             `json:"name"`
+	Cat  string             `json:"cat"`
+	Ph   string             `json:"ph"`
+	TS   float64            `json:"ts"` // microseconds
+	PID  int                `json:"pid"`
+	Args map[string]float64 `json:"args"`
+}
+
 // metadata names a track.
 type metadata struct {
 	Name string         `json:"name"`
@@ -58,6 +70,13 @@ const (
 // track at their start time — one per recovery category (DMA retries,
 // tile re-dispatches, residual corruption, host fallback) — so Perfetto
 // shows where the array misbehaved.
+//
+// Two counter tracks (ph "C") are sampled at every operator boundary:
+// "PE utilization" — the running operator's PEs over the physical array
+// size (reports with ArrayPEs > 0 only, i.e. PIM configurations) — and
+// "queue depth" — operators not yet started. Both step to zero when the
+// schedule drains, so the tracks read correctly under Perfetto's
+// step-function rendering.
 func Export(w io.Writer, rep *engine.Report) error {
 	var events []any
 	events = append(events,
@@ -67,7 +86,7 @@ func Export(w io.Writer, rep *engine.Report) error {
 			Args: map[string]any{"name": "PIM array"}},
 	)
 	cursor := 0.0
-	for _, op := range rep.Ops {
+	for i, op := range rep.Ops {
 		tid := hostTID
 		if op.OnPIM {
 			tid = pimTID
@@ -86,8 +105,10 @@ func Export(w io.Writer, rep *engine.Report) error {
 			},
 		})
 		events = append(events, faultInstants(op, cursor)...)
+		events = append(events, counterSamples(rep, i, cursor)...)
 		cursor += op.Time
 	}
+	events = append(events, counterSamples(rep, len(rep.Ops), cursor)...)
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{
 		"traceEvents":     events,
@@ -97,6 +118,23 @@ func Export(w io.Writer, rep *engine.Report) error {
 			"batch":  fmt.Sprint(rep.Batch),
 		},
 	})
+}
+
+// counterSamples returns the counter-track samples at the boundary where
+// operator i starts (i == len(Ops) is the drain point after the last op).
+func counterSamples(rep *engine.Report, i int, cursor float64) []any {
+	var out []any
+	if rep.ArrayPEs > 0 {
+		util := 0.0
+		if i < len(rep.Ops) && rep.Ops[i].OnPIM {
+			util = float64(rep.Ops[i].PEs) / float64(rep.ArrayPEs)
+		}
+		out = append(out, counterEvent{Name: "PE utilization", Cat: "pim", Ph: "C",
+			TS: cursor * 1e6, PID: 1, Args: map[string]float64{"util": util}})
+	}
+	out = append(out, counterEvent{Name: "queue depth", Cat: "engine", Ph: "C",
+		TS: cursor * 1e6, PID: 1, Args: map[string]float64{"ops": float64(len(rep.Ops) - i)}})
+	return out
 }
 
 // faultInstants returns the instant events one operator contributes: a

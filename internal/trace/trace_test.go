@@ -31,9 +31,14 @@ func TestExportValidJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	// 2 metadata + 3 ops.
-	if len(doc.TraceEvents) != 5 {
-		t.Fatalf("events %d, want 5", len(doc.TraceEvents))
+	// 2 metadata + 3 ops + 4 queue-depth samples (one per op boundary
+	// plus the drain point; no PE-utilization track since ArrayPEs = 0).
+	byPh := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byPh[ev["ph"].(string)]++
+	}
+	if byPh["M"] != 2 || byPh["X"] != 3 || byPh["C"] != 4 {
+		t.Fatalf("event counts %v, want M:2 X:3 C:4", byPh)
 	}
 	// Events must be serial and non-overlapping: ts[i+1] = ts[i] + dur[i].
 	var lastEnd float64
