@@ -2,17 +2,28 @@
 // analyzer for the PIM-DL codebase. It is built purely on the standard
 // library's go/ast, go/parser and go/types packages (the module stays
 // zero-dependency) and enforces the invariants the simulator's
-// correctness claims rest on: race-free goroutine fan-outs, no silently
-// dropped errors, no exact float comparisons in model code, no panics in
-// library packages that loaders can reach, and shape validation at every
-// dimension-taking entry point.
+// correctness and performance claims rest on — per package: race-free
+// goroutine fan-outs, no silently dropped errors, no exact float
+// comparisons in model code, no panics in library packages that loaders
+// can reach, shape validation at every dimension-taking entry point;
+// and across packages, via a shared fact store threaded through a
+// dependency-ordered multi-package run (RunPackages): all parallelism
+// routed through the internal/parallel pool, no wall-clock or global-RNG
+// or map-order dependence in simulator results, metric registration
+// discipline (unique series, §10 naming), no copied or held-across-wait
+// locks, and zero allocation in //pimdl:hotpath functions (DESIGN.md
+// §7 and §11).
 //
 // Findings can be suppressed at the reporting site with a directive
 // comment, either on the same line or the line immediately above:
 //
 //	//pimdl:lint-ignore <analyzer> <reason>
 //
-// The reason is mandatory; a directive without one is itself reported.
+// The reason is mandatory; a directive without one is itself reported,
+// and on full-roster runs a directive that suppresses nothing is
+// reported as stale. The baseline gate (Baseline, LoadBaseline,
+// WriteBaseline) lets the driver fail only on findings not recorded in
+// a committed baseline file.
 package analysis
 
 import (
@@ -42,6 +53,29 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
+// Facts carries analyzer-computed information across packages. A run
+// over multiple packages (RunPackages) shares one Facts value and visits
+// packages in dependency order, so facts recorded while analyzing a
+// package are visible to every package that imports it — the mechanism
+// behind the cross-package hotpath and duplicate-registration checks.
+type Facts struct {
+	// Hotpath holds every function annotated //pimdl:hotpath, recorded
+	// by the hotpath analyzer before it checks bodies so that intra- and
+	// cross-package calls resolve against the same set.
+	Hotpath map[*types.Func]bool
+	// MetricSeries maps each metric series name registered with a
+	// string literal to its first registration site.
+	MetricSeries map[string]token.Position
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{
+		Hotpath:      map[*types.Func]bool{},
+		MetricSeries: map[string]token.Position{},
+	}
+}
+
 // Pass carries one type-checked package through an analyzer.
 type Pass struct {
 	Analyzer *Analyzer
@@ -50,6 +84,7 @@ type Pass struct {
 	PkgPath  string
 	Pkg      *types.Package
 	Info     *types.Info
+	Facts    *Facts
 
 	findings *[]Finding
 }
@@ -79,6 +114,11 @@ func All() []*Analyzer {
 		FloatCompare,
 		PanicInLibrary,
 		ShapeGuard,
+		GoroutinePool,
+		Determinism,
+		MetricDiscipline,
+		LockDiscipline,
+		Hotpath,
 	}
 }
 
@@ -153,25 +193,73 @@ func applySuppressions(findings []Finding, dirs map[string]*ignoreDirective) []F
 
 // RunPackage runs the given analyzers over one type-checked package and
 // returns the surviving (non-suppressed) findings, sorted by position.
+// Cross-package facts start empty; multi-package runs use RunPackages.
 func RunPackage(fset *token.FileSet, files []*ast.File, pkgPath string, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     fset,
-			Files:    files,
-			PkgPath:  pkgPath,
-			Pkg:      pkg,
-			Info:     info,
-			findings: &findings,
+	p := &Package{Files: files, Fset: fset, ImportPath: pkgPath, Pkg: pkg, Info: info}
+	return RunPackages([]*Package{p}, analyzers, RunOptions{})
+}
+
+// RunOptions configures a multi-package analysis run.
+type RunOptions struct {
+	// ReportStale reports suppression directives that silenced no
+	// finding, as "lint-ignore" findings. Only meaningful when the full
+	// analyzer set runs: a directive for an unselected analyzer would
+	// otherwise be falsely stale, so partial (-only) runs leave it off.
+	ReportStale bool
+}
+
+// RunPackages runs the analyzers over every package, in the dependency
+// order Load returns, sharing one Facts store so cross-package
+// invariants (hotpath call closure, unique metric registration) resolve
+// against facts recorded while analyzing the packages' dependencies.
+// Findings are suppressed and sorted per package, then concatenated in
+// package order.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) []Finding {
+	facts := NewFacts()
+	var all []Finding
+	for _, pkg := range pkgs {
+		var findings []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				PkgPath:  pkg.ImportPath,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				Facts:    facts,
+				findings: &findings,
+			}
+			a.Run(pass)
 		}
-		a.Run(pass)
+		dirs, bad := collectDirectives(pkg.Fset, pkg.Files)
+		findings = applySuppressions(findings, dirs)
+		findings = append(findings, bad...)
+		if opt.ReportStale {
+			findings = append(findings, staleDirectives(dirs)...)
+		}
+		sortFindings(findings)
+		all = append(all, findings...)
 	}
-	dirs, bad := collectDirectives(fset, files)
-	findings = applySuppressions(findings, dirs)
-	findings = append(findings, bad...)
-	sortFindings(findings)
-	return findings
+	return all
+}
+
+// staleDirectives reports directives that suppressed nothing: a stale
+// directive means the code it guarded changed (or the finding never
+// existed) and the suppression now silently blesses future regressions
+// at that site.
+func staleDirectives(dirs map[string]*ignoreDirective) []Finding {
+	var out []Finding
+	for _, d := range dirs {
+		if !d.used {
+			out = append(out, Finding{
+				Analyzer: "lint-ignore",
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("stale suppression: no %s finding here anymore; delete the directive", d.analyzer),
+			})
+		}
+	}
+	return out
 }
 
 func sortFindings(fs []Finding) {

@@ -19,6 +19,8 @@ var (
 
 var fixtureNames = []string{
 	"looprange", "errcheck", "floatcmp", "paniclib", "shapeguard", "suppress",
+	"goroutinepool", "determinism", "metricdiscipline", "metricdup",
+	"lockdiscipline", "hotpath", "hotpathdep", "stale",
 }
 
 func fixture(t *testing.T, name string) *Package {
@@ -134,6 +136,66 @@ func TestShapeGuardFixture(t *testing.T) {
 	checkMarkers(t, "shapeguard", runFixture(t, "shapeguard", ShapeGuard))
 }
 
+func TestGoroutinePoolFixture(t *testing.T) {
+	checkMarkers(t, "goroutinepool", runFixture(t, "goroutinepool", GoroutinePool))
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	orig := DeterminismPackages
+	DeterminismPackages = append(append([]string(nil), orig...), "testdata/src/determinism")
+	defer func() { DeterminismPackages = orig }()
+	checkMarkers(t, "determinism", runFixture(t, "determinism", Determinism))
+}
+
+func TestMetricDisciplineFixture(t *testing.T) {
+	checkMarkers(t, "metricdiscipline", runFixture(t, "metricdiscipline", MetricDiscipline))
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	checkMarkers(t, "lockdiscipline", runFixture(t, "lockdiscipline", LockDiscipline))
+}
+
+// TestHotpathFixture runs the dependency package and its importer in one
+// multi-package pass: the hotpathdep annotations land in the shared fact
+// store first, so the importer's calls resolve cross-package. The
+// dependency itself must stay finding-free — checkMarkers rejects any
+// finding outside the hotpath fixture's marker set.
+func TestHotpathFixture(t *testing.T) {
+	dep, imp := fixture(t, "hotpathdep"), fixture(t, "hotpath")
+	findings := RunPackages([]*Package{dep, imp}, []*Analyzer{Hotpath}, RunOptions{})
+	checkMarkers(t, "hotpath", findings)
+}
+
+// TestMetricDupCrossPackage checks that a series name registered in two
+// packages is reported at the second registration site, which only a
+// shared-facts run can see: each package is clean in isolation.
+func TestMetricDupCrossPackage(t *testing.T) {
+	first, second := fixture(t, "metricdiscipline"), fixture(t, "metricdup")
+	if fs := RunPackage(second.Fset, second.Files, second.ImportPath, second.Pkg, second.Info,
+		[]*Analyzer{MetricDiscipline}); len(fs) != 0 {
+		t.Fatalf("metricdup should be clean in isolation, got %v", fs)
+	}
+	findings := RunPackages([]*Package{first, second}, []*Analyzer{MetricDiscipline}, RunOptions{})
+	var dups []Finding
+	for _, f := range findings {
+		if strings.Contains(filepath.Base(f.Pos.Filename), "metricdup") {
+			dups = append(dups, f)
+		}
+	}
+	if len(dups) != 1 || !strings.Contains(dups[0].Message, "already registered") {
+		t.Errorf("want exactly one cross-package duplicate finding in metricdup, got %v", dups)
+	}
+}
+
+// TestStaleDirective runs the full analyzer set with stale reporting on:
+// the directive that still suppresses a float compare stays silent, the
+// one whose guarded code drifted to an int compare is reported.
+func TestStaleDirective(t *testing.T) {
+	p := fixture(t, "stale")
+	findings := RunPackages([]*Package{p}, All(), RunOptions{ReportStale: true})
+	checkMarkers(t, "stale", findings)
+}
+
 // TestSuppression checks that well-formed directives (line above, trailing
 // same-line, and the "all" wildcard) silence findings, while a reason-less
 // directive is itself reported and suppresses nothing.
@@ -179,7 +241,8 @@ func TestAllRegistered(t *testing.T) {
 	}
 	for _, want := range []string{
 		"looprange-capture", "unchecked-error", "float-compare",
-		"panic-in-library", "shape-guard",
+		"panic-in-library", "shape-guard", "goroutinepool", "determinism",
+		"metricdiscipline", "lockdiscipline", "hotpath",
 	} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkFinding(analyzer, file string, line int, msg string) Finding {
+	return Finding{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+// TestFingerprintIgnoresLine pins the stability contract: moving a
+// finding within its file keeps the fingerprint, moving it across files
+// or rewording the message changes it.
+func TestFingerprintIgnoresLine(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	a := mkFinding("hotpath", filepath.Join(root, "pkg", "a.go"), 10, "make in hotpath f")
+	b := mkFinding("hotpath", filepath.Join(root, "pkg", "a.go"), 99, "make in hotpath f")
+	if Fingerprint(a, root) != Fingerprint(b, root) {
+		t.Error("fingerprint must not depend on line")
+	}
+	c := mkFinding("hotpath", filepath.Join(root, "pkg", "b.go"), 10, "make in hotpath f")
+	if Fingerprint(a, root) == Fingerprint(c, root) {
+		t.Error("fingerprint must depend on file")
+	}
+	if !strings.Contains(Fingerprint(a, root), "pkg/a.go") {
+		t.Errorf("fingerprint should use root-relative slash paths, got %q", Fingerprint(a, root))
+	}
+}
+
+// TestBaselineFilterCounts checks the count semantics: a baseline entry
+// with count 2 absorbs the first two occurrences of its class and the
+// third survives as new, as does any unrelated finding.
+func TestBaselineFilterCounts(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	file := filepath.Join(root, "pkg", "a.go")
+	old := []Finding{
+		mkFinding("hotpath", file, 10, "append in hotpath f"),
+		mkFinding("hotpath", file, 20, "append in hotpath f"),
+	}
+	b := NewBaseline(old, root)
+
+	current := []Finding{
+		mkFinding("hotpath", file, 12, "append in hotpath f"),
+		mkFinding("hotpath", file, 22, "append in hotpath f"),
+		mkFinding("hotpath", file, 30, "append in hotpath f"),
+		mkFinding("determinism", file, 5, "time.Now in simulator code"),
+	}
+	fresh := b.Filter(current, root)
+	if len(fresh) != 2 {
+		t.Fatalf("want 2 new findings, got %d: %v", len(fresh), fresh)
+	}
+	if fresh[0].Pos.Line != 30 || fresh[1].Analyzer != "determinism" {
+		t.Errorf("wrong findings survived: %v", fresh)
+	}
+}
+
+// TestBaselineRoundTrip writes and reloads a baseline and checks the
+// filter behaves identically; also pins that a missing file loads as
+// the empty baseline and a wrong version is rejected.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	root := string(filepath.Separator) + "repo"
+	file := filepath.Join(root, "pkg", "a.go")
+	findings := []Finding{
+		mkFinding("hotpath", file, 10, "append in hotpath f"),
+		mkFinding("hotpath", file, 20, "append in hotpath f"),
+		mkFinding("goroutinepool", file, 30, "raw go statement"),
+	}
+	path := filepath.Join(dir, "baseline.json")
+	if err := WriteBaseline(path, findings, root); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Filter(findings, root); len(got) != 0 {
+		t.Errorf("round-tripped baseline should absorb its own findings, got %v", got)
+	}
+	if b[Fingerprint(findings[0], root)] != 2 {
+		t.Errorf("want count 2 for the duplicated class, got %d", b[Fingerprint(findings[0], root)])
+	}
+
+	empty, err := LoadBaseline(filepath.Join(dir, "missing.json"))
+	if err != nil {
+		t.Fatalf("missing baseline must load as empty, got error %v", err)
+	}
+	if got := empty.Filter(findings, root); len(got) != len(findings) {
+		t.Errorf("empty baseline must pass everything through, got %v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 99, "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Error("version mismatch must be an error")
+	}
+}

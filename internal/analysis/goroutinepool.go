@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolPackage is the import-path suffix of the one package allowed to
+// create goroutines: the shared bounded worker pool. Tests may point it
+// at a fixture path.
+var PoolPackage = "internal/parallel"
+
+// GoroutinePool enforces the pool-only parallelism contract PR 3
+// established: every host-side fan-out routes through the shared
+// bounded worker pool (internal/parallel), whose chunk grid is a pure
+// function of the problem size. A raw `go` statement elsewhere creates
+// unbounded, non-deterministic concurrency the pool's contracts
+// (bounded worker count, deterministic chunking, zero-alloc dispatch)
+// cannot see; an ad-hoc sync.WaitGroup fan-out is the same thing
+// spelled by hand. Both are flagged outside the pool package. The rare
+// legitimate goroutine (a signal listener in a main package, a test
+// server) states its reason with a suppression directive.
+var GoroutinePool = &Analyzer{
+	Name: "goroutinepool",
+	Doc:  "raw go statement or ad-hoc sync.WaitGroup fan-out outside the shared worker pool",
+	Run:  runGoroutinePool,
+}
+
+func runGoroutinePool(p *Pass) {
+	if strings.HasSuffix(p.PkgPath, PoolPackage) {
+		return
+	}
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(),
+					"raw go statement outside %s; route parallelism through the shared worker pool", PoolPackage)
+			case *ast.SelectorExpr:
+				if isSyncWaitGroupType(p, n) {
+					p.Reportf(n.Pos(),
+						"ad-hoc sync.WaitGroup fan-out outside %s; use parallel.For/ForCtx so concurrency stays bounded and deterministic", PoolPackage)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSyncWaitGroupType reports whether sel is the type sync.WaitGroup
+// used as a type (a declaration, field, parameter or composite literal
+// — not a value of some other type whose selector happens to match).
+func isSyncWaitGroupType(p *Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "WaitGroup" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "sync" {
+		return false
+	}
+	tv, ok := p.Info.Types[sel]
+	return ok && tv.IsType()
+}

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -215,6 +217,10 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 
 // parseDir parses the non-test .go files of one directory (comments
 // retained — the suppression directives and panic-doc checks need them).
+// Files whose //go:build constraint excludes the host platform are
+// skipped before parsing, matching what go build would compile — a
+// platform-gated file full of foreign syscalls must not fail the whole
+// package's type check.
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -226,13 +232,57 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if !buildIncluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// buildIncluded evaluates the file's //go:build line (if any) against
+// the host GOOS/GOARCH, the gc toolchain and release tags. The check
+// runs on raw bytes before parsing so an excluded file is never parsed
+// at all. Only the //go:build form is recognized; the module's Go floor
+// is well past the legacy // +build syntax.
+func buildIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		// Reached the package clause (or a block comment): a //go:build
+		// line may not appear after this point.
+		break
+	}
+	return true
+}
+
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	}
+	// Release tags: go1.N is satisfied for every N up to the running
+	// toolchain; the module floor (go 1.22) makes any go1.* tag the
+	// repo would realistically use satisfied.
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // expandPatterns maps CLI patterns to package directories under root.

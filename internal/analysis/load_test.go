@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadCrossPackageResolution checks that Load pulls in and
+// type-checks module-internal dependencies the pattern did not select,
+// returns packages in dependency order, and resolves identifiers across
+// the package boundary to the dependency's *types.Func objects.
+func TestLoadCrossPackageResolution(t *testing.T) {
+	pkgs, err := Load(".", []string{filepath.Join("testdata", "src", "hotpath")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Package{}
+	var order []string
+	for _, p := range pkgs {
+		name := p.ImportPath[strings.LastIndex(p.ImportPath, "/")+1:]
+		byName[name] = p
+		order = append(order, name)
+	}
+	dep, ok := byName["hotpathdep"]
+	if !ok {
+		t.Fatalf("Load did not pull in the unselected dependency; got %v", order)
+	}
+	imp := byName["hotpath"]
+	depIdx, impIdx := -1, -1
+	for i, n := range order {
+		switch n {
+		case "hotpathdep":
+			depIdx = i
+		case "hotpath":
+			impIdx = i
+		}
+	}
+	if depIdx > impIdx {
+		t.Errorf("dependency must precede importer, got order %v", order)
+	}
+
+	// The importer's call to hotpathdep.Annotated must resolve to the
+	// same object the dependency's own Defs recorded — that identity is
+	// what the shared fact store keys on.
+	var defObj types.Object
+	for id, obj := range dep.Info.Defs {
+		if id.Name == "Annotated" && obj != nil {
+			defObj = obj
+		}
+	}
+	if defObj == nil {
+		t.Fatal("hotpathdep.Annotated not found in dependency Defs")
+	}
+	found := false
+	for id, obj := range imp.Info.Uses {
+		if id.Name == "Annotated" && obj == defObj {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("importer's use of Annotated does not resolve to the dependency's def object")
+	}
+}
+
+// TestLoadBuildTags checks that a file excluded by a never-satisfied
+// //go:build tag is skipped before parsing: the excluded file contains
+// a type error, so loading it by mistake fails this test loudly.
+func TestLoadBuildTags(t *testing.T) {
+	pkgs, err := Load(".", []string{filepath.Join("testdata", "src", "buildtags")})
+	if err != nil {
+		t.Fatalf("excluded file leaked into the type check: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	if n := len(pkgs[0].Files); n != 1 {
+		t.Errorf("want only ok.go loaded, got %d files", n)
+	}
+	if pkgs[0].Pkg.Scope().Lookup("Excluded") != nil {
+		t.Error("symbol from the tag-excluded file is in scope")
+	}
+	if pkgs[0].Pkg.Scope().Lookup("Included") == nil {
+		t.Error("symbol from the unconstrained file is missing")
+	}
+}
+
+// TestBuildIncluded pins the constraint evaluation itself, including
+// satisfied host tags and release tags.
+func TestBuildIncluded(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package p\n", true},
+		{"//go:build pimdl_never_tag\npackage p\n", false},
+		{"//go:build !pimdl_never_tag\npackage p\n", true},
+		{"//go:build go1.18\npackage p\n", true},
+		{"//go:build gc\npackage p\n", true},
+		{"// regular comment\n//go:build pimdl_never_tag\npackage p\n", false},
+		// After the package clause the line is not a constraint.
+		{"package p\n\n//go:build pimdl_never_tag\n", true},
+	}
+	for _, c := range cases {
+		if got := buildIncluded([]byte(c.src)); got != c.want {
+			t.Errorf("buildIncluded(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+// TestLoadTypeError checks that a package that fails type-checking is a
+// load error mentioning the offending package, not a silently
+// half-analyzed result.
+func TestLoadTypeError(t *testing.T) {
+	_, err := Load(".", []string{filepath.Join("testdata", "src", "typeerr")})
+	if err == nil {
+		t.Fatal("want a type-check error, got nil")
+	}
+	if !strings.Contains(err.Error(), "typeerr") {
+		t.Errorf("error should name the failing package, got: %v", err)
+	}
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline flags the two lock-handling mistakes the race detector
+// only catches when a test happens to interleave badly:
+//
+//   - copying a lock: a value receiver or by-value parameter of a type
+//     that (transitively) contains a sync.Mutex, RWMutex, WaitGroup,
+//     Once or Cond copies the lock state, so the copy guards nothing;
+//   - holding a lock across a dispatch boundary: a parallel.For/ForCtx
+//     call or a channel send between Lock and Unlock serializes the
+//     whole pool behind one critical section at best and deadlocks at
+//     worst (a pool worker blocking on the same lock while the holder
+//     waits for the pool).
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "lock-bearing value copied, or lock held across a pool dispatch or channel send",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(p *Pass) {
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(p, fd)
+			if fd.Body != nil {
+				checkHeldAcrossDispatch(p, fd)
+			}
+		}
+	}
+}
+
+// checkLockCopies flags value receivers and by-value parameters of
+// lock-bearing types.
+func checkLockCopies(p *Pass, fd *ast.FuncDecl) {
+	report := func(field *ast.Field, what string) {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if bearer := lockBearer(tv.Type, nil); bearer != "" {
+			p.Reportf(field.Type.Pos(),
+				"%s copies %s (contains %s); use a pointer", what, tv.Type, bearer)
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			report(field, "value receiver")
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		report(field, "by-value parameter")
+	}
+}
+
+// lockBearer reports the sync primitive a type transitively contains by
+// value ("" if none). seen guards against recursive types.
+func lockBearer(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if b := lockBearer(u.Field(i).Type(), seen); b != "" {
+				return b
+			}
+		}
+	case *types.Array:
+		return lockBearer(u.Elem(), seen)
+	}
+	return ""
+}
+
+// checkHeldAcrossDispatch flags pool dispatches and channel sends
+// positioned between a Lock() and the first matching non-deferred
+// Unlock() (or the function end when the unlock is deferred).
+func checkHeldAcrossDispatch(p *Pass, fd *ast.FuncDecl) {
+	type span struct{ lo, hi token.Pos }
+	var held []span
+
+	// Collect lock/unlock sites in source order. Function literals are
+	// walked too: a deferred closure unlocking is still "deferred".
+	var locks, unlocks []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isSyncLockMethod(p, sel) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			locks = append(locks, call.Pos())
+		case "Unlock", "RUnlock":
+			if !isDeferredCall(fd, call) {
+				unlocks = append(unlocks, call.Pos())
+			}
+		}
+		return true
+	})
+	for _, lp := range locks {
+		hi := fd.Body.End()
+		for _, up := range unlocks {
+			if up > lp && up < hi {
+				hi = up
+			}
+		}
+		held = append(held, span{lp, hi})
+	}
+	if len(held) == 0 {
+		return
+	}
+
+	inHeld := func(pos token.Pos) bool {
+		for _, s := range held {
+			if pos > s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if inHeld(n.Pos()) {
+				p.Reportf(n.Pos(),
+					"channel send while holding a lock; a blocked receiver holds up the critical section (or deadlocks it)")
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && inHeld(n.Pos()) && isPoolDispatch(p, sel) {
+				p.Reportf(n.Pos(),
+					"pool dispatch (%s.%s) while holding a lock; workers contending on it serialize the whole pool", exprPkgName(sel.X), sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isSyncLockMethod reports whether sel resolves to a (R)Lock/(R)Unlock
+// method of sync.Mutex or sync.RWMutex (including promoted embeds).
+func isSyncLockMethod(p *Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// isDeferredCall reports whether call is the direct call of a defer
+// statement or appears inside a deferred function literal.
+func isDeferredCall(fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	deferred := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if deferred {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if d.Call == call {
+			deferred = true
+			return false
+		}
+		ast.Inspect(d.Call, func(m ast.Node) bool {
+			if m == ast.Node(call) {
+				deferred = true
+			}
+			return !deferred
+		})
+		return !deferred
+	})
+	return deferred
+}
+
+// isPoolDispatch reports whether sel is parallel.For or
+// parallel.ForCtx (by the PoolPackage path).
+func isPoolDispatch(p *Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "For" && sel.Sel.Name != "ForCtx" {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), PoolPackage)
+}
+
+func exprPkgName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "parallel"
+}

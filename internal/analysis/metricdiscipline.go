@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricsPackage is the import-path suffix of the metrics registry
+// package whose constructors this analyzer recognizes.
+var MetricsPackage = "internal/metrics"
+
+// metricNamePattern is the DESIGN.md §10 convention:
+// pimdl_<layer>_<name> in lower snake case.
+var metricNamePattern = regexp.MustCompile(`^pimdl_[a-z][a-z0-9]*_[a-z0-9_]*[a-z0-9]$`)
+
+// metricRegistrars maps each Registry constructor to whether it creates
+// a (monotonic) counter, which must carry the _total suffix.
+var metricRegistrars = map[string]bool{
+	"NewCounter":            true,
+	"NewFloatCounter":       true,
+	"NewCounterFamily":      true,
+	"NewFloatCounterFamily": true,
+	"NewGauge":              false,
+	"NewHistogram":          false,
+}
+
+// MetricDiscipline enforces the observability layer's contracts
+// (DESIGN.md §10): every series is registered exactly once, from an
+// init function, under a literal name following the
+// pimdl_<layer>_<name> convention with _total on counters and unit
+// tokens (_seconds, _bytes) in final position; counters never go
+// backwards (no negative Add); and snapshots are read-only views —
+// mutating the map Flatten returns or a Sample from Snapshot corrupts
+// the report without touching the registry. Registration uniqueness is
+// checked across packages through the shared fact store, so two
+// packages claiming one series fail at lint time, not at process init.
+var MetricDiscipline = &Analyzer{
+	Name: "metricdiscipline",
+	Doc:  "metric registration, naming, monotonicity or snapshot-mutation contract violation",
+	Run:  runMetricDiscipline,
+}
+
+func runMetricDiscipline(p *Pass) {
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inInit := fd.Name.Name == "init" && fd.Recv == nil
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkRegistration(p, call, inInit)
+					checkNegativeCounterAdd(p, call)
+				}
+				return true
+			})
+			checkSnapshotMutation(p, fd)
+		}
+	}
+}
+
+// checkRegistration validates one Registry constructor call and records
+// the registered name in the cross-package fact store.
+func checkRegistration(p *Pass, call *ast.CallExpr, inInit bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	isCounter, ok := metricRegistrars[sel.Sel.Name]
+	if !ok || !isMetricsMethod(p, sel, "Registry") {
+		return
+	}
+	if !inInit {
+		p.Reportf(call.Pos(),
+			"metric registered outside an init function; registration must run exactly once at package init")
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		p.Reportf(call.Args[0].Pos(),
+			"metric name must be a string literal so the series inventory is statically known")
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	checkMetricName(p, lit, name, isCounter)
+	if prev, dup := p.Facts.MetricSeries[name]; dup {
+		p.Reportf(lit.Pos(),
+			"series %q already registered at %s; two registrations would merge unrelated numbers", name, prev)
+	} else {
+		p.Facts.MetricSeries[name] = p.Fset.Position(lit.Pos())
+	}
+}
+
+func checkMetricName(p *Pass, lit *ast.BasicLit, name string, isCounter bool) {
+	if !metricNamePattern.MatchString(name) {
+		p.Reportf(lit.Pos(),
+			"series %q does not match the pimdl_<layer>_<name> lower-snake convention", name)
+		return
+	}
+	base, hasTotal := strings.CutSuffix(name, "_total")
+	if isCounter && !hasTotal {
+		p.Reportf(lit.Pos(), "counter %q must end in _total", name)
+	}
+	if !isCounter && hasTotal {
+		p.Reportf(lit.Pos(), "non-counter %q must not end in _total", name)
+	}
+	// Unit tokens belong in final position (before _total): a series
+	// named ..._seconds_busy_... reads as if "busy" were the unit.
+	for _, unit := range []string{"seconds", "bytes"} {
+		if i := strings.Index(base, "_"+unit); i >= 0 && i+1+len(unit) != len(base) {
+			p.Reportf(lit.Pos(),
+				"unit token %q in %q must be the final name component (before _total)", unit, name)
+		}
+	}
+}
+
+// checkNegativeCounterAdd flags Counter/FloatCounter.Add with a
+// provably negative constant argument; counters are monotonic.
+func checkNegativeCounterAdd(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" || len(call.Args) != 1 {
+		return
+	}
+	if !isMetricsMethod(p, sel, "Counter") && !isMetricsMethod(p, sel, "FloatCounter") {
+		return
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return
+	}
+	if strings.HasPrefix(tv.Value.ExactString(), "-") {
+		p.Reportf(call.Args[0].Pos(),
+			"negative Add on a monotonic counter; use a Gauge for values that go down")
+	}
+}
+
+// checkSnapshotMutation flags writes through variables bound to a
+// snapshot: x := reg.Flatten() (or Snapshot()) followed by x[...] = v
+// or x[i].Field = v in the same function.
+func checkSnapshotMutation(p *Pass, fd *ast.FuncDecl) {
+	snap := map[types.Object]string{} // variable -> originating method
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || i >= len(assign.Lhs) {
+				continue
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Flatten" && sel.Sel.Name != "Snapshot") {
+				continue
+			}
+			if !isMetricsMethod(p, sel, "Registry") {
+				continue
+			}
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					snap[obj] = sel.Sel.Name
+				} else if obj := p.Info.Uses[id]; obj != nil {
+					snap[obj] = sel.Sel.Name
+				}
+			}
+		}
+		return true
+	})
+	if len(snap) == 0 {
+		return
+	}
+	snapRoot := func(e ast.Expr) (string, bool) {
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.Ident:
+				if m, ok := snap[p.Info.Uses[x]]; ok {
+					return m, true
+				}
+				return "", false
+			default:
+				return "", false
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			switch lhs.(type) {
+			case *ast.IndexExpr, *ast.SelectorExpr:
+				if m, ok := snapRoot(lhs); ok {
+					p.Reportf(lhs.Pos(),
+						"mutating the result of %s(); snapshots are read-only views of the registry", m)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMetricsMethod reports whether sel resolves to a method whose
+// receiver is the named type recv from the metrics package.
+func isMetricsMethod(p *Pass, sel *ast.SelectorExpr, recv string) bool {
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == recv && strings.HasSuffix(named.Obj().Pkg().Path(), MetricsPackage)
+}

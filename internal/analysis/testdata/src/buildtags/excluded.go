@@ -1,0 +1,7 @@
+//go:build pimdl_never_tag
+
+// This file is excluded by its build tag; it deliberately fails to
+// type-check so that loading it by mistake breaks the load test.
+package buildtags
+
+func Excluded() int { return undefinedSymbol }

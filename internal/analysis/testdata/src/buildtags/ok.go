@@ -1,0 +1,7 @@
+// Package buildtags has one file that always builds and one excluded
+// by a never-satisfied build tag; the loader must skip the excluded
+// file (which would not even type-check) entirely.
+package buildtags
+
+// Included reports that the unconstrained file was loaded.
+func Included() int { return 1 }

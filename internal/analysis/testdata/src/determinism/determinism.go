@@ -1,0 +1,85 @@
+// Package determinism exercises the determinism analyzer: wall-clock
+// reads, the global math/rand source, and map-order-dependent
+// accumulation.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want: time.Now
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want: time.Since
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want: global math/rand
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want: global math/rand
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func mapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want: float accumulation
+	}
+	return sum
+}
+
+func mapCollect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want: map-order-dependent slice
+	}
+	return out
+}
+
+// mapKeyed writes keyed by the ranged key: order-independent.
+func mapKeyed(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// intSum is exact integer addition: order-independent.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sortedSum collects keys and sorts before accumulating — the
+// sanctioned idiom.
+func sortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func suppressed() time.Time {
+	//pimdl:lint-ignore determinism log timestamp only, never enters the model
+	return time.Now()
+}

@@ -1,0 +1,42 @@
+// Package goroutinepool exercises the goroutinepool analyzer: raw go
+// statements and ad-hoc sync.WaitGroup fan-outs outside the shared
+// worker pool package.
+package goroutinepool
+
+import "sync"
+
+func rawGo() {
+	go work(1) // want: raw go statement
+}
+
+func adHocFanOut() {
+	var wg sync.WaitGroup // want: ad-hoc sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) { // want: raw go statement
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+type poolState struct {
+	wg sync.WaitGroup // want: ad-hoc sync.WaitGroup
+}
+
+func (s *poolState) wait() { s.wg.Wait() }
+
+func sanctioned() {
+	//pimdl:lint-ignore goroutinepool background signal listener outlives any pool job
+	go work(2)
+}
+
+// mutexOnly shows that other sync types stay legal outside the pool.
+func mutexOnly(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	work(3)
+}
+
+func work(int) {}

@@ -1,0 +1,55 @@
+// Package lockdiscipline exercises the lockdiscipline analyzer:
+// lock-bearing values copied through receivers or parameters, and locks
+// held across pool dispatches or channel sends.
+package lockdiscipline
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+type guarded struct {
+	mu   sync.Mutex
+	vals []float64
+}
+
+type wrapper struct{ g guarded }
+
+func (g guarded) valueRecv() int { // want: value receiver
+	return len(g.vals)
+}
+
+func (g *guarded) ptrRecv() int { return len(g.vals) }
+
+func byValue(w wrapper) int { // want: by-value parameter
+	return len(w.g.vals)
+}
+
+func byPointer(w *wrapper) int { return len(w.g.vals) }
+
+func (g *guarded) dispatchUnderLock(n int) {
+	g.mu.Lock()
+	parallel.For(n, n, func(lo, hi int) {}) // want: pool dispatch
+	g.mu.Unlock()
+}
+
+func (g *guarded) sendUnderDeferredLock(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- 1 // want: channel send
+}
+
+func (g *guarded) dispatchAfterUnlock(n int) {
+	g.mu.Lock()
+	g.vals = g.vals[:0]
+	g.mu.Unlock()
+	parallel.For(n, n, func(lo, hi int) {})
+}
+
+func (g *guarded) sendOutsideLock(ch chan int) {
+	ch <- 1
+	g.mu.Lock()
+	g.vals = g.vals[:0]
+	g.mu.Unlock()
+}

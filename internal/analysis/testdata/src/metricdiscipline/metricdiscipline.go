@@ -1,0 +1,54 @@
+// Package metricdiscipline exercises the metricdiscipline analyzer:
+// registration placement, naming convention, counter monotonicity and
+// snapshot immutability.
+package metricdiscipline
+
+import "repro/internal/metrics"
+
+var (
+	good  *metrics.Counter
+	late  *metrics.Counter
+	depth *metrics.Gauge
+)
+
+func init() {
+	r := metrics.NewRegistry()
+	good = r.NewCounter("pimdl_fixture_good_total", "well-formed counter")
+	depth = r.NewGauge("pimdl_fixture_queue_depth", "well-formed gauge")
+	r.NewHistogram("pimdl_fixture_latency_seconds", "well-formed histogram", []float64{1, 2})
+	r.NewCounter("pimdl_fixture_bad", "counter without _total")                // want: must end in _total
+	r.NewGauge("pimdl_fixture_depth_total", "gauge with _total")               // want: must not end in _total
+	r.NewCounter("BadName_total", "not pimdl_-prefixed")                       // want: convention
+	r.NewFloatCounter("pimdl_fixture_seconds_busy_total", "unit mid-name")     // want: unit token
+	r.NewCounter("pimdl_fixture_good_total", "second registration, same name") // want: already registered
+	name := "pimdl_fixture_dynamic_total"
+	r.NewCounter(name, "non-literal name") // want: string literal
+}
+
+func registerLate(r *metrics.Registry) {
+	late = r.NewCounter("pimdl_fixture_late_total", "registered at call time") // want: outside an init
+}
+
+func record() {
+	good.Add(-1) // want: negative Add
+	good.Add(1)
+	good.Inc()
+	depth.Add(-1) // gauges may go down
+}
+
+func mutateFlatten(r *metrics.Registry) float64 {
+	m := r.Flatten()
+	m["pimdl_fixture_good_total"] = 0 // want: read-only
+	return m["pimdl_fixture_queue_depth"]
+}
+
+func mutateSnapshot(r *metrics.Registry) {
+	s := r.Snapshot()
+	if len(s) > 0 {
+		s[0].Value = 1 // want: read-only
+	}
+}
+
+func readOnly(r *metrics.Registry) int {
+	return len(r.Snapshot())
+}

@@ -1,0 +1,14 @@
+// Package metricdup registers a series name the metricdiscipline
+// fixture package already claimed. The duplicate is only visible to a
+// cross-package run (RunPackages with shared facts); the package is
+// clean in isolation, so it carries no want markers.
+package metricdup
+
+import "repro/internal/metrics"
+
+var xpkg *metrics.Counter
+
+func init() {
+	xpkg = metrics.NewRegistry().NewCounter("pimdl_fixture_good_total",
+		"same series name as the metricdiscipline fixture")
+}

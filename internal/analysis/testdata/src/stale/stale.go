@@ -1,0 +1,14 @@
+// Package stale exercises stale-directive reporting: a suppression
+// that no longer silences any finding is itself reported, so dead
+// directives cannot linger and bless future regressions.
+package stale
+
+func used(a, b float64) bool {
+	//pimdl:lint-ignore float-compare sentinel zero before divide
+	return a == b
+}
+
+func drifted(a, b int) bool {
+	//pimdl:lint-ignore float-compare the compare below stopped being a float compare // want: stale suppression
+	return a == b
+}

@@ -1,0 +1,5 @@
+// Package typeerr deliberately fails type-checking; the loader must
+// surface the type error instead of analyzing a half-checked package.
+package typeerr
+
+func Broken() int { return undefinedIdentifier }
