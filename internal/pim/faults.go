@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -437,21 +437,24 @@ func executeTiles(p *Platform, w Workload, m Mapping, idx []uint8, plan FaultPla
 	return res, nil
 }
 
-// runPESet executes fn once per physical PE that has work, fanning out
-// across goroutines; each PE processes its (possibly non-uniform) tile
-// list serially, so per-PE RNG streams are deterministic regardless of
-// scheduling.
+// runPESet executes fn once per physical PE that has work, fanned out
+// over PE indices on the shared worker pool; each PE processes its
+// (possibly non-uniform) tile list serially, so per-PE RNG streams are
+// deterministic regardless of how chunks land on workers. The work
+// estimate is the total output-element count across tiles; small fault
+// runs stay on the calling goroutine.
 func runPESet(assign [][]tile, fn func(pe int, tiles []tile)) {
-	var wg sync.WaitGroup
-	for pe := range assign {
-		if len(assign[pe]) == 0 {
-			continue
+	work := 0
+	for _, tiles := range assign {
+		for _, t := range tiles {
+			work += (t.rowHi - t.rowLo) * t.cols()
 		}
-		wg.Add(1)
-		go func(pe int, tiles []tile) {
-			defer wg.Done()
-			fn(pe, tiles)
-		}(pe, assign[pe])
 	}
-	wg.Wait()
+	parallel.For(len(assign), work, func(lo, hi int) {
+		for pe := lo; pe < hi; pe++ {
+			if len(assign[pe]) > 0 {
+				fn(pe, assign[pe])
+			}
+		}
+	})
 }
