@@ -56,15 +56,19 @@ type arena struct {
 
 var arenaPool = sync.Pool{New: func() any { return new(arena) }}
 
+//pimdl:hotpath
 func (a *arena) int32s(n int) []int32 {
 	if cap(a.i32) < n {
+		//pimdl:lint-ignore hotpath grow-to-high-water: amortised to zero by the sync.Pool arena
 		a.i32 = make([]int32, n)
 	}
 	return a.i32[:n]
 }
 
+//pimdl:hotpath
 func (a *arena) uint8s(n int) []uint8 {
 	if cap(a.u8) < n {
+		//pimdl:lint-ignore hotpath grow-to-high-water: amortised to zero by the sync.Pool arena
 		a.u8 = make([]uint8, n)
 	}
 	return a.u8[:n]
@@ -87,6 +91,8 @@ var searchJobPool = sync.Pool{New: func() any { return new(searchJob) }}
 // caller-owned N×CB row-major index matrix. It is the zero-allocation,
 // parallel form of Search: results are bit-identical to searchSerial at
 // any GOMAXPROCS. It panics on a shape mismatch.
+//
+//pimdl:hotpath
 func (c *Codebooks) SearchInto(dst []uint8, acts *tensor.Tensor) {
 	n, h := acts.Dim(0), acts.Dim(1)
 	if h != c.CB*c.V {
@@ -104,9 +110,12 @@ func (c *Codebooks) SearchInto(dst []uint8, acts *tensor.Tensor) {
 }
 
 // normsInto computes ‖c‖² for every centroid into buf (grown as needed).
+//
+//pimdl:hotpath
 func normsInto(buf []float32, c *Codebooks) []float32 {
 	n := c.CB * c.CT
 	if cap(buf) < n {
+		//pimdl:lint-ignore hotpath grow-to-high-water: pooled job keeps the buffer across calls
 		buf = make([]float32, n)
 	}
 	buf = buf[:n]
@@ -121,6 +130,7 @@ func normsInto(buf []float32, c *Codebooks) []float32 {
 	return buf
 }
 
+//pimdl:hotpath
 func searchChunk(ctx any, lo, hi int) {
 	j := ctx.(*searchJob)
 	searchRows(j.c, j.norms, j.acts, j.h, j.dst, 0, lo, hi)
@@ -130,6 +140,8 @@ func searchChunk(ctx any, lo, hi int) {
 // (at least) hi-dstRow0 index rows: global row i lands at tile row
 // i-dstRow0, so callers pass dstRow0=0 for a full N×CB matrix or
 // dstRow0=lo for a chunk-local tile.
+//
+//pimdl:hotpath
 func searchRows(c *Codebooks, norms, acts []float32, h int, dst []uint8, dstRow0, lo, hi int) {
 	switch c.V {
 	case 4:
@@ -146,6 +158,8 @@ func searchRows(c *Codebooks, norms, acts []float32, h int, dst []uint8, dstRow0
 // same association order as the generic loop, so results stay bit-exact.
 // Rows are processed in pairs so each centroid load serves two dot
 // products, halving load-port pressure on the inner loop.
+//
+//pimdl:hotpath
 func searchRows4(c *Codebooks, norms, acts []float32, h int, dst []uint8, dstRow0, lo, hi int) {
 	cbs, ct := c.CB, c.CT
 	data := c.Data
@@ -248,6 +262,8 @@ func searchRows4(c *Codebooks, norms, acts []float32, h int, dst []uint8, dstRow
 }
 
 // searchRows2 is CCS specialised for V=2.
+//
+//pimdl:hotpath
 func searchRows2(c *Codebooks, norms, acts []float32, h int, dst []uint8, dstRow0, lo, hi int) {
 	cbs, ct := c.CB, c.CT
 	data := c.Data
@@ -277,6 +293,8 @@ func searchRows2(c *Codebooks, norms, acts []float32, h int, dst []uint8, dstRow
 
 // searchRowsGeneric handles arbitrary V with the same inner loop as the
 // serial reference.
+//
+//pimdl:hotpath
 func searchRowsGeneric(c *Codebooks, norms, acts []float32, h int, dst []uint8, dstRow0, lo, hi int) {
 	cbs, ct, v := c.CB, c.CT, c.V
 	data := c.Data
@@ -318,6 +336,8 @@ var lookupJobPool = sync.Pool{New: func() any { return new(lookupJob) }}
 // caller-owned N×F tensor out (overwritten), performing no heap
 // allocations. Results are bit-identical to lookupSerial at any
 // GOMAXPROCS. It panics on a shape mismatch.
+//
+//pimdl:hotpath
 func (l *LUT) LookupInto(out *tensor.Tensor, idx []uint8, n int) {
 	if len(idx) != n*l.CB {
 		panic(fmt.Sprintf("lutnn: index matrix length %d != N·CB = %d", len(idx), n*l.CB))
@@ -332,6 +352,7 @@ func (l *LUT) LookupInto(out *tensor.Tensor, idx []uint8, n int) {
 	lookupJobPool.Put(j)
 }
 
+//pimdl:hotpath
 func lookupChunk(ctx any, lo, hi int) {
 	j := ctx.(*lookupJob)
 	lookupRowsBlocked(j.l, j.idx, 0, j.out, lo, hi)
@@ -346,6 +367,8 @@ func lookupChunk(ctx any, lo, hi int) {
 // ascending order, matching the serial reference bit for bit. idx rows
 // are addressed relative to idxRow0 (0 for a full N×CB matrix, lo for a
 // chunk-local tile).
+//
+//pimdl:hotpath
 func lookupRowsBlocked(l *LUT, idx []uint8, idxRow0 int, out []float32, lo, hi int) {
 	cbs, ct, f := l.CB, l.CT, l.F
 	data := l.Data
@@ -405,6 +428,8 @@ const lookupRBlock = 8
 
 // addF32 computes dst[k] += src[k] elementwise, 8-way unrolled. Element
 // sums are independent, so the result is bit-identical to the naive loop.
+//
+//pimdl:hotpath
 func addF32(dst, src []float32) {
 	n := len(src)
 	dst = dst[:n]
@@ -430,6 +455,8 @@ func addF32(dst, src []float32) {
 // i.e. ascending-codebook order — so the result is bit-identical to the
 // serial reference while issuing one store per element instead of four
 // (the scalar kernel is store-throughput-bound otherwise).
+//
+//pimdl:hotpath
 func add4F32(dst, s0, s1, s2, s3 []float32) {
 	n := len(dst)
 	s0, s1, s2, s3 = s0[:n], s1[:n], s2[:n], s3[:n]
@@ -494,6 +521,8 @@ func add4F32(dst, s0, s1, s2, s3 []float32) {
 // of an all-negative-zero sum. The compiler must keep the add for the
 // same reason. Association per element is ascending-codebook order,
 // matching the reference bit for bit.
+//
+//pimdl:hotpath
 func init4F32(dst, s0, s1, s2, s3 []float32) {
 	n := len(dst)
 	s0, s1, s2, s3 = s0[:n], s1[:n], s2[:n], s3[:n]
@@ -565,6 +594,8 @@ var qlookupJobPool = sync.Pool{New: func() any { return new(qlookupJob) }}
 // rescaled once per feature tile. Integer accumulation is exact, so the
 // result is bit-identical to lookupSerial regardless of blocking. It
 // panics on a shape mismatch.
+//
+//pimdl:hotpath
 func (q *QuantizedLUT) LookupInto(out *tensor.Tensor, idx []uint8, n int) {
 	if len(idx) != n*q.CB {
 		panic("lutnn: index matrix length mismatch")
@@ -579,6 +610,7 @@ func (q *QuantizedLUT) LookupInto(out *tensor.Tensor, idx []uint8, n int) {
 	qlookupJobPool.Put(j)
 }
 
+//pimdl:hotpath
 func qlookupChunk(ctx any, lo, hi int) {
 	j := ctx.(*qlookupJob)
 	a := arenaPool.Get().(*arena)
@@ -589,6 +621,8 @@ func qlookupChunk(ctx any, lo, hi int) {
 // qlookupRowsBlocked processes rows [lo, hi) in rBlock×fTile int32
 // accumulator tiles (16 KiB, L1-resident), codebook loop outside the row
 // loop inside each tile. idx rows are addressed relative to idxRow0.
+//
+//pimdl:hotpath
 func qlookupRowsBlocked(q *QuantizedLUT, idx []uint8, idxRow0 int, out []float32, a *arena, lo, hi int) {
 	cbs, ct, f := q.CB, q.CT, q.F
 	data := q.Data
@@ -639,6 +673,8 @@ func qlookupRowsBlocked(q *QuantizedLUT, idx []uint8, idxRow0 int, out []float32
 
 // addI8 computes dst[k] += int32(src[k]) elementwise, 8-way unrolled.
 // Integer addition is exact, so the result matches the naive loop.
+//
+//pimdl:hotpath
 func addI8(dst []int32, src []int8) {
 	n := len(src)
 	dst = dst[:n]
@@ -661,6 +697,8 @@ func addI8(dst []int32, src []int8) {
 // add4I8 accumulates four INT8 table slices into the int32 accumulator
 // in one pass (one store per element instead of four; integer addition
 // is order-independent, so any grouping is exact).
+//
+//pimdl:hotpath
 func add4I8(dst []int32, s0, s1, s2, s3 []int8) {
 	n := len(dst)
 	s0, s1, s2, s3 = s0[:n], s1[:n], s2[:n], s3[:n]
@@ -702,6 +740,8 @@ var forwardJobPool = sync.Pool{New: func() any { return new(forwardJob) }}
 // scratch tile per worker — they never round-trip through a full N×CB
 // buffer. Results are bit-identical to searchSerial + lookupSerial +
 // AddBias at any GOMAXPROCS. It panics on a shape mismatch.
+//
+//pimdl:hotpath
 func (ly *Layer) ForwardInto(out *tensor.Tensor, acts *tensor.Tensor) {
 	c := ly.Codebooks
 	n, h := acts.Dim(0), acts.Dim(1)
@@ -734,6 +774,8 @@ func (ly *Layer) ForwardInto(out *tensor.Tensor, acts *tensor.Tensor) {
 // forwardChunk fuses CCS and lookup per rBlock-row tile: indices are
 // written to a worker-local scratch tile and consumed immediately while
 // the activation rows are still cache-hot.
+//
+//pimdl:hotpath
 func forwardChunk(ctx any, lo, hi int) {
 	j := ctx.(*forwardJob)
 	ly := j.ly

@@ -54,6 +54,8 @@ func init() {
 // Enabled reports whether the instrumentation helpers should record.
 // Individual metric methods always work; Enabled is the cheap gate the
 // per-layer recording code checks once per event batch.
+//
+//pimdl:hotpath
 func Enabled() bool { return enabledFlag.Load() }
 
 // SetEnabled turns recording on or off at runtime (tests, benchmarks).
@@ -67,6 +69,8 @@ const numShards = 8
 // shard picks a shard for the calling goroutine. math/rand/v2's global
 // generator is per-thread state in the runtime — no locks, no allocation
 // — so concurrent writers spread across shards approximately per P.
+//
+//pimdl:hotpath
 func shard() int { return int(rand.Uint64() & (numShards - 1)) }
 
 // cell is one cache-line-padded counter shard (64-byte lines; the value
@@ -89,10 +93,14 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//pimdl:hotpath
 func (c *Counter) Inc() { c.shards[shard()].v.Add(1) }
 
 // Add adds n (n must be non-negative for the counter to stay monotonic;
 // this is not enforced on the hot path).
+//
+//pimdl:hotpath
 func (c *Counter) Add(n int64) { c.shards[shard()].v.Add(n) }
 
 // Value returns the current total across shards.
@@ -112,6 +120,8 @@ type FloatCounter struct {
 }
 
 // Add adds v.
+//
+//pimdl:hotpath
 func (c *FloatCounter) Add(v float64) {
 	s := &c.shards[shard()].bits
 	for {
@@ -140,9 +150,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//pimdl:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by delta.
+//
+//pimdl:hotpath
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -154,6 +168,8 @@ func (g *Gauge) Add(delta float64) {
 }
 
 // SetMax raises the gauge to v if v is larger (peak trackers).
+//
+//pimdl:hotpath
 func (g *Gauge) SetMax(v float64) {
 	for {
 		old := g.bits.Load()
@@ -167,6 +183,8 @@ func (g *Gauge) SetMax(v float64) {
 }
 
 // Value returns the current value.
+//
+//pimdl:hotpath
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram is a fixed-bucket histogram with streaming quantiles: the

@@ -41,6 +41,8 @@ func init() {
 
 // recordDispatch folds one parallel dispatch: its chunk count, how many
 // helpers joined, and whether the offer loop hit a saturated pool.
+//
+//pimdl:hotpath
 func recordDispatch(chunks, helpers int, saturated bool) {
 	if !metrics.Enabled() {
 		return
@@ -55,6 +57,8 @@ func recordDispatch(chunks, helpers int, saturated bool) {
 }
 
 // recordInline counts a call that ran on the caller's goroutine only.
+//
+//pimdl:hotpath
 func recordInline() {
 	if metrics.Enabled() {
 		poolMetrics.inline.Inc()
@@ -62,6 +66,8 @@ func recordInline() {
 }
 
 // workerEnter/workerExit bracket one job execution on a pool worker.
+//
+//pimdl:hotpath
 func workerEnter() {
 	if !metrics.Enabled() {
 		return
@@ -70,6 +76,7 @@ func workerEnter() {
 	poolMetrics.busyPeak.SetMax(poolMetrics.busy.Value())
 }
 
+//pimdl:hotpath
 func workerExit() {
 	if metrics.Enabled() {
 		poolMetrics.busy.Add(-1)

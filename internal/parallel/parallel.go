@@ -79,6 +79,7 @@ func initPool() {
 	}
 }
 
+//pimdl:hotpath
 func worker() {
 	for j := range jobCh {
 		workerEnter()
@@ -88,6 +89,7 @@ func worker() {
 	}
 }
 
+//pimdl:hotpath
 func (j *job) run() {
 	chunks := int64(j.chunks)
 	for {
@@ -112,6 +114,8 @@ func Workers() int {
 
 // numChunks returns the deterministic chunk count for an n-element range
 // with the given approximate op count. It depends only on (n, work).
+//
+//pimdl:hotpath
 func numChunks(n, work int) int {
 	if work < threshold || n < 2 {
 		return 1
@@ -153,6 +157,8 @@ func forAdapter(ctx any, lo, hi int) { ctx.(func(lo, hi int))(lo, hi) }
 // pointer (e.g. from a sync.Pool), a ForCtx call performs zero heap
 // allocations in steady state — this is the dispatch form the
 // zero-allocation kernels (SearchInto, LookupInto, ForwardInto) use.
+//
+//pimdl:hotpath
 func ForCtx(n, work int, ctx any, fn func(ctx any, lo, hi int)) {
 	if n <= 0 {
 		return

@@ -52,12 +52,18 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 func (t *Tensor) Shape() []int { return t.shape }
 
 // Dim returns the size of dimension i.
+//
+//pimdl:hotpath
 func (t *Tensor) Dim(i int) int { return t.shape[i] }
 
 // Rank returns the number of dimensions.
+//
+//pimdl:hotpath
 func (t *Tensor) Rank() int { return len(t.shape) }
 
 // Size returns the total number of elements.
+//
+//pimdl:hotpath
 func (t *Tensor) Size() int { return len(t.Data) }
 
 // Rows returns the size of the first dimension of a matrix.
