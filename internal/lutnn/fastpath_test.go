@@ -173,6 +173,12 @@ func TestFastPathDeterministicAcrossGOMAXPROCS(t *testing.T) {
 // this measures the inline dispatch path; the benchmarks in the repo
 // root report allocs for the parallel path.
 func TestFastPathZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		// Under the race detector sync.Pool deliberately drops a random
+		// fraction of Put items, so the warmed pools re-allocate and the
+		// zero-alloc assertion is meaningless noise.
+		t.Skip("alloc counts are unreliable under -race (sync.Pool drops items)")
+	}
 	layer, acts := fastLayer(t, 64, 64, 48, 4, 16, true, 19)
 	layer.EnableINT8()
 	n := acts.Dim(0)

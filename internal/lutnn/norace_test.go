@@ -1,0 +1,5 @@
+//go:build !race
+
+package lutnn
+
+const raceEnabled = false

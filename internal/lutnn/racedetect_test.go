@@ -1,0 +1,7 @@
+//go:build race
+
+package lutnn
+
+// raceEnabled mirrors the race build tag for tests whose assertions are
+// invalid under the race detector.
+const raceEnabled = true
