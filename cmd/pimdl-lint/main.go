@@ -1,19 +1,31 @@
 // Command pimdl-lint runs the project's static analyzers (see
-// internal/analysis) over the packages selected by the given patterns and
-// prints findings in the usual file:line:col style. It exits 0 when the
-// tree is clean, 1 when there are findings, and 2 when packages fail to
+// internal/analysis) over the packages selected by the given patterns in
+// one multi-package pass, so cross-package facts (hotpath annotations,
+// metric series registrations) resolve across package boundaries. It
+// exits 0 when the tree is clean (or every finding is absorbed by the
+// baseline), 1 when there are new findings, and 2 when packages fail to
 // load or type-check — so `make lint` is enforceable in CI.
 //
 // Usage:
 //
-//	pimdl-lint [-only analyzer[,analyzer]] [patterns...]
+//	pimdl-lint [-only analyzer[,analyzer]] [-json] [-baseline file]
+//	           [-write-baseline file] [patterns...]
 //
 // Patterns default to ./... and accept plain directories or Go-style /...
 // suffixes. Findings are suppressed at the site with
-// `//pimdl:lint-ignore <analyzer> <reason>` on the same or preceding line.
+// `//pimdl:lint-ignore <analyzer> <reason>` on the same or preceding
+// line; a suppression that no longer silences anything is itself
+// reported as stale (full-roster runs only — under -only a directive for
+// an unselected analyzer would be falsely stale).
+//
+// The baseline gate grandfathers recorded debt: -baseline filters out
+// findings whose (analyzer, file, message) class is recorded in the
+// file, up to the recorded count, and -write-baseline regenerates that
+// record from the current tree.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +34,20 @@ import (
 	"repro/internal/analysis"
 )
 
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselinePath := flag.String("baseline", "", "filter out findings recorded in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "record current findings to this baseline file and exit 0")
 	flag.Parse()
 
 	analyzers := analysis.All()
@@ -59,25 +82,77 @@ func main() {
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimdl-lint: %v\n", err)
-		os.Exit(2)
+		fatal(err)
+	}
+	root, _, err := analysis.Module(cwd)
+	if err != nil {
+		fatal(err)
 	}
 	pkgs, err := analysis.Load(cwd, patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimdl-lint: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
-	total := 0
-	for _, pkg := range pkgs {
-		findings := analysis.RunPackage(pkg.Fset, pkg.Files, pkg.ImportPath, pkg.Pkg, pkg.Info, analyzers)
+	// One run over every package in dependency order: facts recorded for
+	// a dependency are visible while its importers are analyzed. Stale
+	// suppression reporting needs the full roster (see package doc).
+	findings := analysis.RunPackages(pkgs, analyzers, analysis.RunOptions{
+		ReportStale: *only == "",
+	})
+
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaseline(*writeBaseline, findings, root); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pimdl-lint: recorded %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+	grandfathered := 0
+	if *baselinePath != "" {
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		fresh := base.Filter(findings, root)
+		grandfathered = len(findings) - len(fresh)
+		findings = fresh
+	}
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
 		for _, f := range findings {
 			fmt.Println(f)
-			total++
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "pimdl-lint: %d finding(s)\n", total)
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pimdl-lint: %d new finding(s)", len(findings))
+		if grandfathered > 0 {
+			fmt.Fprintf(os.Stderr, " (%d grandfathered by baseline)", grandfathered)
+		}
+		fmt.Fprintln(os.Stderr)
 		os.Exit(1)
 	}
+	if grandfathered > 0 {
+		fmt.Fprintf(os.Stderr, "pimdl-lint: clean (%d grandfathered by baseline)\n", grandfathered)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pimdl-lint: %v\n", err)
+	os.Exit(2)
 }
