@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-faults bench bench-smoke bench-json metrics-smoke bench-overhead vet fmt lint lint-baseline experiments examples clean
+.PHONY: all build test test-short test-race test-faults chaos-smoke bench bench-smoke bench-json metrics-smoke bench-overhead vet fmt lint lint-baseline experiments examples clean
 
 all: build vet lint test
 
@@ -48,6 +48,31 @@ test-faults:
 	$(GO) test -race ./internal/pim/ ./internal/serving/ ./internal/engine/ ./cmd/pimdl-sim/ \
 		-run 'Fault|Degraded|Robust|Flaky|Deadline|ZeroWait|Residual|Shrunken|RunPESet|Irrecoverable|Instantiate|ParseFlags' \
 		-timeout 600s
+
+# chaos-smoke exercises the live serving runtime end to end under the
+# race detector: first the chaos acceptance test (saturated run with a
+# mid-run fault storm — conservation exact, breaker trips and recovers,
+# replay oracle within 5%; see DESIGN.md §12.3), then one short
+# saturated pimdl-sim -live -live-chaos run that writes a metrics
+# snapshot, validated for the pimdl_live_* series. CI uploads the
+# snapshot as an artifact.
+chaos-smoke:
+	$(GO) test -race ./internal/serving/live/ \
+		-run 'ChaosSaturationAcceptance|ReplayOracleHealthy' -v -timeout 600s
+	$(GO) run -race ./cmd/pimdl-sim -n 64 -h 32 -f 64 -v 4 -ct 8 \
+		-live -live-requests 600 -live-chaos \
+		-fault-dead 0.1 -fault-flip 0.9 -fault-seed 7 \
+		-metrics chaos-snapshot.json
+	$(GO) run ./cmd/pimdl-metrics-check \
+		-require pimdl_live_submitted_total \
+		-require pimdl_live_requests_total \
+		-require pimdl_live_batch_attempts_total \
+		-require pimdl_live_batch_retries_total \
+		-require pimdl_live_breaker_trips_total \
+		-require pimdl_live_latency_seconds \
+		-require pimdl_live_batch_size \
+		-require pimdl_live_queue_depth_peak \
+		chaos-snapshot.json
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX .
@@ -98,7 +123,9 @@ examples:
 	$(GO) run ./examples/bert_serving
 	$(GO) run ./examples/vit_inference
 	$(GO) run ./examples/serving_sim
+	$(GO) run ./examples/live_serving
 
 clean:
 	rm -f test_output.txt bench_output.txt \
-		metrics-snapshot.json bench-nometrics.json bench-metrics.json
+		metrics-snapshot.json chaos-snapshot.json \
+		bench-nometrics.json bench-metrics.json

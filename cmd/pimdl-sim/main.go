@@ -35,8 +35,9 @@ type simConfig struct {
 	n, h, f, v, ct int
 	seed           int64
 	faults         pim.FaultPlan
-	metricsPath    string // write a metrics snapshot here after the run
-	pprofDir       string // write cpu/heap profiles into this directory
+	metricsPath    string      // write a metrics snapshot here after the run
+	pprofDir       string      // write cpu/heap profiles into this directory
+	live           *liveConfig // non-nil: run the live serving runtime instead
 }
 
 // parseFlags parses and validates args (without the program name),
@@ -58,6 +59,7 @@ func parseFlags(args []string, stderr io.Writer) (*simConfig, error) {
 	faultSeed := fs.Int64("fault-seed", 1, "fault plan seed")
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot to this file after the run (.prom/.txt for Prometheus text, anything else for JSON)")
 	pprofDir := fs.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
+	buildLive := liveFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -98,6 +100,10 @@ func parseFlags(args []string, stderr io.Writer) (*simConfig, error) {
 	if err := cfg.faults.Validate(); err != nil {
 		return nil, fmt.Errorf("fault flags: %v", err)
 	}
+	var err error
+	if cfg.live, err = buildLive(cfg.faults); err != nil {
+		return nil, err
+	}
 	cfg.metricsPath, cfg.pprofDir = *metricsPath, *pprofDir
 	if cfg.metricsPath != "" {
 		if err := metrics.ValidateOutputPath(cfg.metricsPath); err != nil {
@@ -126,6 +132,9 @@ func (p *printer) printf(format string, args ...any) {
 }
 
 func run(cfg *simConfig, out io.Writer) error {
+	if cfg.live != nil {
+		return runLive(cfg, out)
+	}
 	stdout := &printer{w: out}
 	rng := rand.New(rand.NewSource(cfg.seed))
 	acts := tensor.RandN(rng, 1, cfg.n, cfg.h)

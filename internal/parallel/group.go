@@ -1,0 +1,63 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Group supervises a set of long-lived goroutines: the structured
+// counterpart to the pool's data-parallel For. Where For fans a bounded
+// chunk grid out over parked workers and returns when the grid drains, a
+// Group owns goroutines with independent lifetimes — the live serving
+// runtime's dispatcher, load generator, chaos controller and degrade
+// lane — and guarantees they are all accounted for before Wait returns.
+//
+// The contract:
+//
+//   - Every goroutine started with Go is joined by Wait. Wait blocks
+//     until all of them have returned; a Group is reusable after Wait
+//     (like sync.WaitGroup, Go must not race with Wait).
+//
+//   - Panics do not vanish into the runtime's goroutine exit: a panic
+//     inside fn is captured and re-raised from Wait on the waiting
+//     goroutine (first panic wins, later ones are dropped). This keeps
+//     the process-crash semantics of the pool's chunk functions while
+//     making the failure attributable to the owner that called Wait.
+//
+//   - The live goroutine count is exposed as the
+//     pimdl_parallel_group_goroutines gauge, so a leaked server
+//     goroutine shows up in metrics snapshots instead of only in stack
+//     dumps.
+type Group struct {
+	wg       sync.WaitGroup
+	panicked atomic.Pointer[capturedPanic]
+}
+
+// capturedPanic preserves the first panic value raised inside the group.
+type capturedPanic struct{ val any }
+
+// Go starts fn on its own goroutine, tracked by the group.
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	groupEnter()
+	go func() {
+		defer g.wg.Done()
+		defer groupExit()
+		defer func() {
+			if r := recover(); r != nil {
+				g.panicked.CompareAndSwap(nil, &capturedPanic{val: r})
+			}
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every goroutine started with Go has returned, then
+// re-raises the first captured panic, if any.
+func (g *Group) Wait() {
+	g.wg.Wait()
+	if p := g.panicked.Swap(nil); p != nil {
+		panic(fmt.Sprintf("parallel: goroutine panicked: %v", p.val))
+	}
+}

@@ -1,0 +1,58 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestGroupRunsAndJoins(t *testing.T) {
+	var g Group
+	var n atomic.Int64
+	for i := 0; i < 16; i++ {
+		g.Go(func() { n.Add(1) })
+	}
+	g.Wait()
+	if got := n.Load(); got != 16 {
+		t.Fatalf("ran %d goroutines, want 16", got)
+	}
+	// Reusable after Wait.
+	g.Go(func() { n.Add(1) })
+	g.Wait()
+	if got := n.Load(); got != 17 {
+		t.Fatalf("ran %d goroutines after reuse, want 17", got)
+	}
+}
+
+func TestGroupGaugeReturnsToZero(t *testing.T) {
+	before := metrics.Default().Flatten()["pimdl_parallel_group_goroutines"]
+	var g Group
+	release := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		g.Go(func() { <-release })
+	}
+	close(release)
+	g.Wait()
+	after := metrics.Default().Flatten()["pimdl_parallel_group_goroutines"]
+	if before != after {
+		t.Fatalf("group gauge leaked: before %g, after %g", before, after)
+	}
+}
+
+func TestGroupRepanicsFromWait(t *testing.T) {
+	var g Group
+	g.Go(func() { panic("boom") })
+	g.Go(func() {}) // a healthy sibling must still be joined
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Wait did not re-raise the goroutine panic")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value %v does not carry the original payload", r)
+		}
+	}()
+	g.Wait()
+}

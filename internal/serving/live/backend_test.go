@@ -1,0 +1,153 @@
+package live
+
+import (
+	"testing"
+
+	"repro/internal/pim"
+)
+
+// refOperator returns the reference (platform, workload, mapping) the
+// backend tests evaluate fault plans against: a small LUT operator on
+// the UPMEM preset, mapped like the pim package's own fault tests.
+func refOperator() (*pim.Platform, pim.Workload, pim.Mapping) {
+	w := pim.Workload{N: 32, CB: 16, CT: 8, F: 32, ElemBytes: 2}
+	m := pim.Mapping{
+		NsTile: 8, FsTile: 8,
+		NmTile: 8, FmTile: 8, CBmTile: 4,
+		Traversal: [3]pim.Loop{pim.LoopN, pim.LoopF, pim.LoopCB},
+		Scheme:    pim.CoarseLoad, CBLoadTile: 1, FLoadTile: 8,
+	}
+	return pim.UPMEM(), w, m
+}
+
+func newTestPIMBackend(t *testing.T) *PIMBackend {
+	t.Helper()
+	plat, w, m := refOperator()
+	be, err := NewPIMBackend(plat, w, m, func(b int) float64 { return 0.02 + 0.002*float64(b) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be
+}
+
+// TestPIMBackendHealthy: with a zero plan the backend is a pure latency
+// model — OK, exact model latency, no recovery traffic.
+func TestPIMBackendHealthy(t *testing.T) {
+	be := newTestPIMBackend(t)
+	for _, b := range []int{1, 4, 16} {
+		out := be.Execute(b, b)
+		if !out.OK || out.Reason != "" {
+			t.Fatalf("healthy execute failed: %+v", out)
+		}
+		if want := 0.02 + 0.002*float64(b); out.Latency != want {
+			t.Fatalf("batch %d latency %g, want %g", b, out.Latency, want)
+		}
+		if out.DMARetries != 0 || out.Residual != 0 || out.DeadPEs != 0 {
+			t.Fatalf("healthy execute reported recovery traffic: %+v", out)
+		}
+	}
+}
+
+// TestPIMBackendFaultySlowdown: a recoverable plan stretches the latency
+// by the reference operator's degradation ratio and reports the recovery
+// traffic, while still passing verification.
+func TestPIMBackendFaultySlowdown(t *testing.T) {
+	be := newTestPIMBackend(t)
+	be.SetPlan(pim.FaultPlan{Seed: 5, DeadPEFraction: 0.3, FlipRate: 0.02, StragglerSpread: 1.0})
+	healthy := 0.02 + 0.002*16.0
+	slowed, recovered := 0, 0
+	for i := 0; i < 8; i++ {
+		out := be.Execute(16, 16)
+		if !out.OK {
+			t.Fatalf("recoverable plan failed verification: %+v", out)
+		}
+		if out.Latency > healthy {
+			slowed++
+		}
+		if out.DeadPEs > 0 && out.Redispatched > 0 {
+			recovered++
+		}
+	}
+	if slowed == 0 {
+		t.Fatal("dead PEs and stragglers never stretched the latency")
+	}
+	if recovered == 0 {
+		t.Fatal("a 0.3 dead fraction never hit a used PE across 8 attempts")
+	}
+}
+
+// TestPIMBackendChecksumFailure: a flip rate past the DMA retry budget
+// leaves residual corruption, which the end-to-end verification rejects.
+func TestPIMBackendChecksumFailure(t *testing.T) {
+	be := newTestPIMBackend(t)
+	be.SetPlan(pim.FaultPlan{Seed: 5, FlipRate: 0.9})
+	out := be.Execute(16, 16)
+	if out.OK {
+		t.Fatalf("0.9 flip rate passed verification: %+v", out)
+	}
+	if out.Residual == 0 || out.Reason == "" {
+		t.Fatalf("failed attempt carries no diagnosis: %+v", out)
+	}
+	if out.DMARetries == 0 {
+		t.Fatalf("0.9 flip rate caused no DMA retries: %+v", out)
+	}
+}
+
+// TestPIMBackendIrrecoverable: killing nearly the whole array makes the
+// mapping unplaceable; the failure is detected at dispatch with zero
+// kernel time.
+func TestPIMBackendIrrecoverable(t *testing.T) {
+	plat, w, m := refOperator()
+	// Shrink the array so the mapping needs most of it, then kill half.
+	plat.NumPE = 20 // mapping needs (32/8)·(32/8) = 16 PEs
+	be, err := NewPIMBackend(plat, w, m, func(int) float64 { return 0.01 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	be.SetPlan(pim.FaultPlan{Seed: 3, DeadPEFraction: 0.9})
+	out := be.Execute(4, 4)
+	if out.OK || out.Latency != 0 {
+		t.Fatalf("irrecoverable plan produced %+v", out)
+	}
+}
+
+// TestPIMBackendDeterministicSequence: two backends with the same plan
+// produce the identical outcome sequence — the per-attempt re-seeding is
+// deterministic, not time-dependent.
+func TestPIMBackendDeterministicSequence(t *testing.T) {
+	mk := func() *PIMBackend {
+		be := newTestPIMBackend(t)
+		be.SetPlan(pim.FaultPlan{Seed: 11, DeadPEFraction: 0.2, FlipRate: 0.3})
+		return be
+	}
+	a, b := mk(), mk()
+	varied := false
+	var prev Outcome
+	for i := 0; i < 6; i++ {
+		oa, ob := a.Execute(8, 8), b.Execute(8, 8)
+		if oa != ob {
+			t.Fatalf("attempt %d diverged: %+v vs %+v", i, oa, ob)
+		}
+		if i > 0 && oa != prev {
+			varied = true
+		}
+		prev = oa
+	}
+	if !varied {
+		t.Fatal("re-seeding never varied the outcome across attempts")
+	}
+}
+
+// TestHostBackendAlwaysOK: the host fallback is unconditional.
+func TestHostBackendAlwaysOK(t *testing.T) {
+	be, err := NewHostBackend(func(b int) float64 { return 0.1 * float64(b) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{1, 8} {
+		out := be.Execute(b, b)
+		if !out.OK || out.Backend != "host" || out.Latency != 0.1*float64(b) {
+			t.Fatalf("host execute: %+v", out)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package live
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBreakerConfigValidate pins the parameter checks.
+func TestBreakerConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  BreakerConfig
+		want string // substring of the error, "" = valid
+	}{
+		{"disabled zero value", BreakerConfig{}, ""},
+		{"valid", BreakerConfig{Window: 8, MinSamples: 4, TripRatio: 0.5, Cooldown: 1}, ""},
+		{"min samples above window", BreakerConfig{Window: 4, MinSamples: 5, TripRatio: 0.5}, "MinSamples"},
+		{"negative min samples", BreakerConfig{Window: 4, MinSamples: -1, TripRatio: 0.5}, "MinSamples"},
+		{"zero trip ratio", BreakerConfig{Window: 4, TripRatio: 0}, "TripRatio"},
+		{"trip ratio above one", BreakerConfig{Window: 4, TripRatio: 1.5}, "TripRatio"},
+		{"negative cooldown", BreakerConfig{Window: 4, TripRatio: 0.5, Cooldown: -1}, "Cooldown"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestBreakerDisabled: the zero config routes everything to PIM and
+// records nothing.
+func TestBreakerDisabled(t *testing.T) {
+	b, err := NewBreaker(BreakerConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if r := b.Route(float64(i)); r != RoutePIM {
+			t.Fatalf("disabled breaker routed %v", r)
+		}
+		b.Record(float64(i), false)
+	}
+	if b.State() != BreakerClosed || b.Trips() != 0 {
+		t.Fatalf("disabled breaker state=%v trips=%d", b.State(), b.Trips())
+	}
+}
+
+// TestBreakerLifecycle walks the full state machine: closed → open on
+// the trip ratio, host routing through the cooldown, half-open probe
+// after it, and back to closed on a successful probe.
+func TestBreakerLifecycle(t *testing.T) {
+	var transitions []string
+	cfg := BreakerConfig{Window: 4, MinSamples: 4, TripRatio: 0.5, Cooldown: 1}
+	b, err := NewBreaker(cfg, func(now float64, from, to BreakerState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three outcomes are below MinSamples: no trip even at 2/3 failures.
+	b.Record(0.0, false)
+	b.Record(0.1, false)
+	b.Record(0.2, true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped below MinSamples: %v", b.State())
+	}
+	// Fourth outcome: 2 failures over 4 samples = exactly TripRatio.
+	b.Record(0.3, false)
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state=%v trips=%d after trip-ratio hit", b.State(), b.Trips())
+	}
+
+	// Open: host routing until the cooldown elapses.
+	if r := b.Route(0.5); r != RouteHost {
+		t.Fatalf("open breaker inside cooldown routed %v", r)
+	}
+	// Cooldown elapsed: the next attempt is the half-open probe; further
+	// routes stay probes until its outcome is recorded.
+	if r := b.Route(1.4); r != RouteProbe {
+		t.Fatalf("open breaker past cooldown routed %v", r)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after probe admission", b.State())
+	}
+
+	// Probe fails: re-open, cooldown restarts from the failure time.
+	b.Record(1.5, false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe", b.State())
+	}
+	if r := b.Route(2.0); r != RouteHost {
+		t.Fatalf("re-opened breaker routed %v before new cooldown", r)
+	}
+
+	// Second probe succeeds: recovery, window cleared.
+	if r := b.Route(2.6); r != RouteProbe {
+		t.Fatalf("re-opened breaker past cooldown routed %v", r)
+	}
+	b.Record(2.7, true)
+	if b.State() != BreakerClosed || b.Recoveries() != 1 {
+		t.Fatalf("state=%v recoveries=%d after successful probe", b.State(), b.Recoveries())
+	}
+	// The cleared window means one old failure cannot re-trip.
+	b.Record(3.0, false)
+	b.Record(3.1, true)
+	b.Record(3.2, true)
+	b.Record(3.3, true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("window not cleared on recovery: %v", b.State())
+	}
+
+	want := []string{
+		"closed->open",
+		"open->half-open",
+		"half-open->open",
+		"open->half-open",
+		"half-open->closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestBreakerSlidingWindow: old outcomes age out of the ring buffer, so
+// a burst of failures longer ago than Window samples cannot trip.
+func TestBreakerSlidingWindow(t *testing.T) {
+	b, err := NewBreaker(BreakerConfig{Window: 4, MinSamples: 4, TripRatio: 0.75}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two failures, then a long run of successes pushing them out.
+	b.Record(0, false)
+	b.Record(0, false)
+	for i := 0; i < 8; i++ {
+		b.Record(0, true)
+	}
+	// Window now holds 4 successes; two fresh failures give 2/4 < 0.75.
+	b.Record(0, false)
+	b.Record(0, false)
+	if b.State() != BreakerOpen {
+		// 2 fails + 2 oks = 0.5 < 0.75: must still be closed.
+		if b.State() != BreakerClosed {
+			t.Fatalf("state %v", b.State())
+		}
+	} else {
+		t.Fatalf("breaker tripped on aged-out failures")
+	}
+	// One more failure: 3/4 = 0.75 ≥ TripRatio: trips.
+	b.Record(0, false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after 3/4 failures", b.State())
+	}
+}

@@ -1,0 +1,95 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/pim"
+)
+
+// ChaosEvent swaps the PIM backend's fault plan at a virtual time: dead
+// PEs appear, DMA flips start, stragglers slow down — or the array
+// heals (zero plan). Note annotates the timeline.
+type ChaosEvent struct {
+	At   float64
+	Plan pim.FaultPlan
+	Note string
+}
+
+// ChaosSchedule is a time-ordered list of fault-plan changes.
+type ChaosSchedule []ChaosEvent
+
+// Validate checks event ordering and plan legality.
+func (cs ChaosSchedule) Validate() error {
+	for i, ev := range cs {
+		if ev.At < 0 {
+			return fmt.Errorf("live: chaos event %d at negative time %g", i, ev.At)
+		}
+		if i > 0 && ev.At < cs[i-1].At {
+			return fmt.Errorf("live: chaos schedule not sorted at event %d", i)
+		}
+		if err := ev.Plan.Validate(); err != nil {
+			return fmt.Errorf("live: chaos event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RunChaos plays the schedule against the backend in (scaled) real
+// time, recording each plan change on the recorder's timeline. Run it
+// on its own goroutine; it returns after the last event fires.
+func RunChaos(clock *ScaledClock, be *PIMBackend, rec *Recorder, sched ChaosSchedule) {
+	events := append(ChaosSchedule(nil), sched...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for _, ev := range events {
+		if d := ev.At - clock.Now(); d > 0 {
+			clock.Sleep(d)
+		}
+		be.SetPlan(ev.Plan)
+		note := ev.Note
+		if note == "" {
+			note = fmt.Sprintf("dead=%.2f flip=%.2f straggler=%.2f",
+				ev.Plan.DeadPEFraction, ev.Plan.FlipRate, ev.Plan.StragglerSpread)
+		}
+		if rec != nil {
+			rec.AddEvent(Event{At: clock.Now(), Kind: "chaos", Note: note})
+		}
+	}
+}
+
+// ChaosResult bundles what a chaos run produced.
+type ChaosResult struct {
+	Recorder *Recorder
+	Summary  Summary
+	Admitted int
+}
+
+// RunScenario wires one complete live run: start the server, drive the
+// load schedule and the chaos schedule concurrently, then drain. This
+// is the harness the chaos tests, pimdl-sim -live and the examples
+// share.
+func RunScenario(s *Server, arrivals []Arrival, sched ChaosSchedule) (*ChaosResult, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	var chaosTarget *PIMBackend
+	if len(sched) > 0 {
+		be, ok := s.pimBE.(*PIMBackend)
+		if !ok {
+			return nil, fmt.Errorf("live: chaos schedule needs a *PIMBackend, have %T", s.pimBE)
+		}
+		chaosTarget = be
+	}
+	s.Start()
+	res := &ChaosResult{Recorder: s.Recorder()}
+	var g parallel.Group
+	if chaosTarget != nil {
+		g.Go(func() { RunChaos(s.Clock(), chaosTarget, s.Recorder(), sched) })
+	}
+	res.Admitted = Drive(s.Clock(), s, arrivals)
+	g.Wait()
+	s.Drain()
+	res.Summary = s.Recorder().Summary()
+	return res, nil
+}

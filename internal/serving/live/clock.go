@@ -1,0 +1,55 @@
+package live
+
+import (
+	"fmt"
+	"time"
+)
+
+// ScaledClock maps the runtime's virtual time axis — the modelled seconds
+// every latency model in this repo speaks — onto the wall clock, scaled.
+// A scale of 20 means one virtual second passes in 50 wall milliseconds,
+// so a 30-virtual-second saturation run finishes in about 1.5 s of test
+// time while the goroutines underneath still block, race and interleave
+// for real.
+//
+// All Server, load-generator and chaos-schedule times are virtual
+// seconds on one shared clock; nothing in the live runtime touches
+// time.Now directly. The recorded timestamps are therefore directly
+// comparable to the offline simulator's, which is what makes the replay
+// oracle (Recorder.Replay) meaningful.
+type ScaledClock struct {
+	epoch time.Time
+	scale float64 // virtual seconds per wall second
+}
+
+// NewScaledClock starts a clock at virtual time zero. scale must be
+// positive; 1 runs in real time.
+func NewScaledClock(scale float64) (*ScaledClock, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("live: clock scale %g must be positive", scale)
+	}
+	return &ScaledClock{epoch: time.Now(), scale: scale}, nil
+}
+
+// Now returns the current virtual time in seconds since the clock
+// started.
+func (c *ScaledClock) Now() float64 {
+	return time.Since(c.epoch).Seconds() * c.scale
+}
+
+// Sleep blocks for d virtual seconds (no-op for d <= 0).
+func (c *ScaledClock) Sleep(d float64) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(c.WallDuration(d))
+}
+
+// WallDuration converts a virtual duration to the wall duration it
+// occupies, for use with timers (never negative).
+func (c *ScaledClock) WallDuration(d float64) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(d / c.scale * float64(time.Second))
+}

@@ -1,0 +1,192 @@
+package live
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestLoadSpecValidate pins the spec checks.
+func TestLoadSpecValidate(t *testing.T) {
+	valid := LoadSpec{Rate: 100, Requests: 10}
+	cases := []struct {
+		name string
+		mut  func(*LoadSpec)
+		want string
+	}{
+		{"valid", func(*LoadSpec) {}, ""},
+		{"no requests", func(s *LoadSpec) { s.Requests = 0 }, "request count"},
+		{"zero rate", func(s *LoadSpec) { s.Rate = 0 }, "rate"},
+		{"schedule not at zero", func(s *LoadSpec) {
+			s.Schedule = []RatePoint{{From: 1, Rate: 10}}
+		}, "start at t=0"},
+		{"schedule rate zero", func(s *LoadSpec) {
+			s.Schedule = []RatePoint{{From: 0, Rate: 0}}
+		}, "non-positive rate"},
+		{"schedule not increasing", func(s *LoadSpec) {
+			s.Schedule = []RatePoint{{From: 0, Rate: 10}, {From: 0, Rate: 20}}
+		}, "not increasing"},
+		{"burst factor", func(s *LoadSpec) {
+			s.Burst = &MMPP{BurstFactor: 0, MeanCalm: 1, MeanBurst: 1}
+		}, "burst factor"},
+		{"burst sojourn", func(s *LoadSpec) {
+			s.Burst = &MMPP{BurstFactor: 2, MeanCalm: 0, MeanBurst: 1}
+		}, "sojourn"},
+		{"zipf exponent", func(s *LoadSpec) { s.Mix = ZipfMix{S: 1, Kinds: 4} }, "exponent"},
+		{"zipf kinds", func(s *LoadSpec) { s.Mix = ZipfMix{S: 1.2, Kinds: 0} }, "kind"},
+		{"zipf rows mismatch", func(s *LoadSpec) {
+			s.Mix = ZipfMix{S: 1.2, Kinds: 3, Rows: []int{1, 2}}
+		}, "row counts"},
+		{"zipf rows non-positive", func(s *LoadSpec) {
+			s.Mix = ZipfMix{S: 1.2, Kinds: 2, Rows: []int{1, 0}}
+		}, "non-positive rows"},
+	}
+	for _, c := range cases {
+		s := valid
+		c.mut(&s)
+		err := s.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestGenerateDeterministic: a fixed spec yields the identical schedule.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := LoadSpec{
+		Rate:     200,
+		Burst:    &MMPP{BurstFactor: 4, MeanCalm: 0.5, MeanBurst: 0.2},
+		Mix:      ZipfMix{S: 1.3, Kinds: 4, Rows: []int{1, 2, 4, 8}},
+		Requests: 500,
+		Seed:     42,
+	}
+	a, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != spec.Requests || len(b) != spec.Requests {
+		t.Fatalf("lengths %d/%d, want %d", len(a), len(b), spec.Requests)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+	}
+}
+
+// TestGeneratePoissonRate: the empirical rate of a constant-rate stream
+// matches the spec within sampling noise.
+func TestGeneratePoissonRate(t *testing.T) {
+	spec := LoadSpec{Rate: 100, Requests: 4000, Seed: 7}
+	arr, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := arr[len(arr)-1].At
+	got := float64(len(arr)) / horizon
+	if math.Abs(got-spec.Rate)/spec.Rate > 0.1 {
+		t.Fatalf("empirical rate %.1f, want %.1f ± 10%%", got, spec.Rate)
+	}
+	for _, a := range arr {
+		if a.Kind != 0 || a.Rows != 1 {
+			t.Fatalf("no-mix arrival carries kind=%d rows=%d", a.Kind, a.Rows)
+		}
+	}
+}
+
+// TestGenerateScheduleRamp: a rate ramp makes the later segment denser.
+func TestGenerateScheduleRamp(t *testing.T) {
+	spec := LoadSpec{
+		Schedule: []RatePoint{{From: 0, Rate: 50}, {From: 10, Rate: 400}},
+		Requests: 3000,
+		Seed:     9,
+	}
+	arr, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after int
+	for _, a := range arr {
+		if a.At < 10 {
+			before++
+		} else {
+			after++
+		}
+	}
+	// Segment one contributes ~500 arrivals; with 3000 total the ramp
+	// segment must dominate by far.
+	if before == 0 || after < 4*before {
+		t.Fatalf("ramp not visible: %d arrivals before t=10, %d after", before, after)
+	}
+	rateBefore := float64(before) / 10
+	if math.Abs(rateBefore-50)/50 > 0.25 {
+		t.Fatalf("pre-ramp rate %.1f, want ~50", rateBefore)
+	}
+}
+
+// TestGenerateMMPPBursts: the burst overlay raises the mean rate, so the
+// same request count fits a shorter horizon than the calm-only stream.
+func TestGenerateMMPPBursts(t *testing.T) {
+	calm := LoadSpec{Rate: 100, Requests: 3000, Seed: 11}
+	bursty := calm
+	bursty.Burst = &MMPP{BurstFactor: 5, MeanCalm: 0.5, MeanBurst: 0.5}
+
+	ca, err := calm.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := bursty.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal sojourn means: the MMPP's mean rate is 100·(1+5)/2 = 300, so
+	// the bursty horizon should be roughly a third of the calm one.
+	ch, bh := ca[len(ca)-1].At, ba[len(ba)-1].At
+	if bh > 0.6*ch {
+		t.Fatalf("bursts not visible: bursty horizon %.2f vs calm %.2f", bh, ch)
+	}
+}
+
+// TestGenerateZipfMix: kind 0 is the hottest and rows map per kind.
+func TestGenerateZipfMix(t *testing.T) {
+	spec := LoadSpec{
+		Rate:     100,
+		Mix:      ZipfMix{S: 1.5, Kinds: 4, Rows: []int{1, 2, 4, 8}},
+		Requests: 2000,
+		Seed:     5,
+	}
+	arr, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, spec.Mix.Kinds)
+	for _, a := range arr {
+		if a.Kind < 0 || a.Kind >= spec.Mix.Kinds {
+			t.Fatalf("kind %d out of range", a.Kind)
+		}
+		if a.Rows != spec.Mix.Rows[a.Kind] {
+			t.Fatalf("kind %d carries rows %d, want %d", a.Kind, a.Rows, spec.Mix.Rows[a.Kind])
+		}
+		counts[a.Kind]++
+	}
+	for k := 1; k < len(counts); k++ {
+		if counts[0] <= counts[k] {
+			t.Fatalf("Zipf head not hottest: counts %v", counts)
+		}
+	}
+}

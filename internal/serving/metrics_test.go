@@ -103,6 +103,51 @@ func TestServingMetricsMatchTrace(t *testing.T) {
 	}
 }
 
+// TestServingMetricsDropPaths forces every drop path at once — a flaky
+// backend that exhausts its retry budget (failures), a tight deadline
+// (timeouts) — and checks the counters account for all of it: every
+// arrival is either a completion, a timeout or a failure, and the
+// latency histogram saw only the completions.
+func TestServingMetricsDropPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	arr := PoissonArrivals(rng, 300, 500)
+	lat := func(b int) float64 { return 0.02 + 0.002*float64(b) }
+	rob := Robustness{Deadline: 0.08, FailRate: 0.6, MaxRetries: 1, Backoff: 0.01, Seed: 5}
+
+	var tr *Trace
+	d := metricsDelta(func() {
+		var err error
+		tr, err = SimulateRobust(arr, lat, Policy{MaxBatch: 4, MaxWait: 0.01}, rob)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// The scenario must actually exercise all three terminal paths.
+	if tr.Failures == 0 || tr.Timeouts == 0 || tr.Retries == 0 {
+		t.Fatalf("scenario too tame: failures=%d timeouts=%d retries=%d",
+			tr.Failures, tr.Timeouts, tr.Retries)
+	}
+	if got := len(tr.Completions) + tr.Timeouts + tr.Failures; got != len(arr) {
+		t.Fatalf("terminal states %d != arrivals %d", got, len(arr))
+	}
+	checks := map[string]float64{
+		"pimdl_serving_requests_total": float64(len(tr.Completions)),
+		"pimdl_serving_timeouts_total": float64(tr.Timeouts),
+		"pimdl_serving_failures_total": float64(tr.Failures),
+		"pimdl_serving_retries_total":  float64(tr.Retries),
+	}
+	for k, want := range checks {
+		if got := d[k]; got != want {
+			t.Fatalf("%s = %g, want %g", k, got, want)
+		}
+	}
+	// Dropped requests must not leak into the latency distribution.
+	if got := d["pimdl_serving_latency_seconds_count"]; got != float64(len(tr.Completions)) {
+		t.Fatalf("latency histogram count %g, want %d (completions only)", got, len(tr.Completions))
+	}
+}
+
 // TestServingHistogramQuantilesTrackPercentile: the streaming quantiles
 // land in the same bucket neighbourhood as the exact sorted-slice path.
 func TestServingHistogramQuantilesTrackPercentile(t *testing.T) {

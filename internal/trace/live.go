@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/serving/live"
+)
+
+const (
+	liveBatchTID   = 1
+	liveDegradeTID = 2
+	liveEventsTID  = 3
+)
+
+// ExportLive writes a recorded live-serving run as trace-event JSON:
+// every primary-lane batch execution as a complete event on the batch
+// track (failed batches flagged red via the "failed" arg), degrade-lane
+// completions on their own track, and the run's timeline annotations —
+// chaos plan changes and circuit-breaker transitions — as instant
+// events. A counter track steps through each batch's size at its start,
+// making load swings visible at a glance.
+//
+// Virtual seconds map to trace microseconds 1:1 with the rest of the
+// package (×1e6), so a live trace and an offline engine trace of the
+// same model line up when opened together in Perfetto.
+func ExportLive(w io.Writer, rec *live.Recorder) error {
+	if rec == nil {
+		return fmt.Errorf("trace: nil live recorder")
+	}
+	var events []any
+	events = append(events,
+		metadata{Name: "thread_name", Ph: "M", PID: 1, TID: liveBatchTID,
+			Args: map[string]any{"name": "Primary lane (batched)"}},
+		metadata{Name: "thread_name", Ph: "M", PID: 1, TID: liveDegradeTID,
+			Args: map[string]any{"name": "Degrade lane (host)"}},
+		metadata{Name: "thread_name", Ph: "M", PID: 1, TID: liveEventsTID,
+			Args: map[string]any{"name": "Chaos / breaker"}},
+	)
+
+	for i, b := range rec.Batches() {
+		name := fmt.Sprintf("batch %d (n=%d)", i, b.Size)
+		backend := ""
+		if len(b.Backends) > 0 {
+			backend = b.Backends[len(b.Backends)-1]
+		}
+		events = append(events, event{
+			Name: name,
+			Cat:  "serving",
+			Ph:   "X",
+			TS:   b.Start * 1e6,
+			Dur:  (b.Done - b.Start) * 1e6,
+			PID:  1,
+			TID:  liveBatchTID,
+			Args: map[string]string{
+				"size":       fmt.Sprint(b.Size),
+				"rows":       fmt.Sprint(b.Rows),
+				"attempts":   fmt.Sprint(b.Attempts),
+				"backend":    backend,
+				"dmaRetries": fmt.Sprint(b.DMARetries),
+				"failed":     fmt.Sprint(b.Failed),
+			},
+		})
+		if b.Attempts > 1 {
+			events = append(events, instant{
+				Name: "batch-retry", Cat: "fault", Ph: "i", TS: b.Start * 1e6, S: "t",
+				PID: 1, TID: liveBatchTID,
+				Args: map[string]string{"attempts": fmt.Sprint(b.Attempts)},
+			})
+		}
+		events = append(events, counterEvent{
+			Name: "batch size", Cat: "serving", Ph: "C", TS: b.Start * 1e6, PID: 1,
+			Args: map[string]float64{"requests": float64(b.Size)},
+		})
+	}
+
+	for _, r := range rec.Records() {
+		if r.Outcome != live.OutcomeDegraded {
+			continue
+		}
+		events = append(events, event{
+			Name: fmt.Sprintf("degraded req %d", r.ID),
+			Cat:  "serving",
+			Ph:   "X",
+			TS:   r.Start * 1e6,
+			Dur:  (r.Done - r.Start) * 1e6,
+			PID:  1,
+			TID:  liveDegradeTID,
+			Args: map[string]string{
+				"rows":    fmt.Sprint(r.Rows),
+				"expired": fmt.Sprint(r.Expired),
+			},
+		})
+	}
+
+	for _, ev := range rec.Events() {
+		events = append(events, instant{
+			Name: ev.Kind + ": " + ev.Note, Cat: ev.Kind, Ph: "i", TS: ev.At * 1e6, S: "g",
+			PID: 1, TID: liveEventsTID,
+		})
+	}
+
+	sum := rec.Summary()
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]string{
+			"submitted": fmt.Sprint(sum.Submitted),
+			"served":    fmt.Sprint(sum.Served),
+			"degraded":  fmt.Sprint(sum.Degraded),
+			"shed":      fmt.Sprint(sum.ShedQueue),
+			"timeouts":  fmt.Sprint(sum.Timeouts),
+			"failures":  fmt.Sprint(sum.Failures),
+		},
+	})
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/serving/live"
+)
+
+// liveTestRecorder reconstructs a small deterministic run: two served
+// batches (the second retried once), one degraded request, one shed, one
+// timeout, and a chaos + breaker timeline.
+func liveTestRecorder() *live.Recorder {
+	rec := live.NewRecorder()
+	rec.AddBatch(live.BatchRecord{Start: 0.10, Done: 0.15, Size: 2, Rows: 2,
+		Attempts: 1, AttemptDurs: []float64{0.05}, Backends: []string{"pim"}})
+	rec.AddBatch(live.BatchRecord{Start: 0.20, Done: 0.32, Size: 1, Rows: 4,
+		Attempts: 2, AttemptDurs: []float64{0.05, 0.05}, Backends: []string{"pim", "host"},
+		DMARetries: 3})
+	rec.Add(live.Record{ID: 1, Rows: 1, Arrival: 0.01, Outcome: live.OutcomeServed,
+		Start: 0.10, Done: 0.15, Batch: 2, Backend: "pim"})
+	rec.Add(live.Record{ID: 2, Rows: 1, Arrival: 0.02, Outcome: live.OutcomeServed,
+		Start: 0.10, Done: 0.15, Batch: 2, Backend: "pim"})
+	rec.Add(live.Record{ID: 3, Rows: 4, Arrival: 0.12, Outcome: live.OutcomeServed,
+		Start: 0.20, Done: 0.32, Batch: 1, Backend: "host", Expired: true})
+	rec.Add(live.Record{ID: 4, Rows: 1, Arrival: 0.13, Outcome: live.OutcomeDegraded,
+		Start: 0.14, Done: 0.24, Batch: 1, Backend: "host"})
+	rec.Add(live.Record{ID: 5, Rows: 1, Arrival: 0.14, Outcome: live.OutcomeShedQueue})
+	rec.Add(live.Record{ID: 6, Rows: 1, Arrival: 0.15, Outcome: live.OutcomeTimeout})
+	rec.AddEvent(live.Event{At: 0.18, Kind: "chaos", Note: "storm"})
+	rec.AddEvent(live.Event{At: 0.19, Kind: "breaker", Note: "closed→open"})
+	return rec
+}
+
+func TestExportLiveValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportLive(&buf, liveTestRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 3 track metadata; 2 batches + 1 degraded completion as complete
+	// events; 1 batch-retry + 2 timeline instants; 2 batch-size samples.
+	byPh := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byPh[ev["ph"].(string)]++
+	}
+	if byPh["M"] != 3 || byPh["X"] != 3 || byPh["i"] != 3 || byPh["C"] != 2 {
+		t.Fatalf("event counts %v, want M:3 X:3 i:3 C:2", byPh)
+	}
+	// The accounting footer matches the recorder's summary.
+	want := map[string]string{
+		"submitted": "6", "served": "3", "degraded": "1",
+		"shed": "1", "timeouts": "1", "failures": "0",
+	}
+	for k, v := range want {
+		if doc.OtherData[k] != v {
+			t.Fatalf("otherData[%s] = %q, want %q", k, doc.OtherData[k], v)
+		}
+	}
+	// Complete events carry microsecond timestamps on the right tracks.
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "X" {
+			continue
+		}
+		ts, dur := ev["ts"].(float64), ev["dur"].(float64)
+		if ts < 0 || dur <= 0 {
+			t.Fatalf("complete event with ts=%g dur=%g", ts, dur)
+		}
+	}
+}
+
+func TestExportLiveDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := ExportLive(&a, liveTestRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportLive(&b, liveTestRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical recorders exported different traces")
+	}
+}
+
+func TestExportLiveNilRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportLive(&buf, nil); err == nil {
+		t.Fatal("nil recorder accepted")
+	}
+}
