@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-faults chaos-smoke bench bench-smoke bench-json metrics-smoke bench-overhead vet fmt lint lint-baseline experiments examples clean
+.PHONY: all build test test-short test-race test-faults chaos-smoke shard-smoke bench bench-smoke bench-json metrics-smoke bench-overhead vet fmt lint lint-baseline experiments examples clean
 
 all: build vet lint test
 
@@ -74,6 +74,34 @@ chaos-smoke:
 		-require pimdl_live_queue_depth_peak \
 		chaos-snapshot.json
 
+# shard-smoke exercises the cluster-sharding layer end to end under the
+# race detector: the shard-kill chaos storms (a shard dies mid-run and
+# its tiles fail over to replicas with zero lost requests and the
+# breaker closed; killing every replica of a range trips the breaker to
+# the host and recovers on revive — see DESIGN.md §13), plus the
+# concurrent-vs-serial timing oracle, then one sharded pimdl-sim run
+# with a dead shard that writes a shard-health metrics snapshot,
+# validated for the pimdl_shard_* series. CI uploads the snapshot as an
+# artifact.
+shard-smoke:
+	$(GO) test -race ./internal/serving/live/ ./internal/shard/ \
+		-run 'ShardKillChaos|ShardedBackend|ConcurrentMatchesSerialOracle|FailoverByteIdentical' -v -timeout 600s
+	$(GO) run -race ./cmd/pimdl-sim -n 64 -h 32 -f 64 -v 4 -ct 8 \
+		-shards 4 -shard-replicas 2 -shard-kill 1 \
+		-fault-dead 0.1 -fault-flip 0.2 -fault-seed 7 \
+		-metrics shard-snapshot.json
+	$(GO) run ./cmd/pimdl-metrics-check \
+		-require pimdl_shard_routes_total \
+		-require pimdl_shard_dispatch_total \
+		-require pimdl_shard_failover_total \
+		-require pimdl_shard_replica_hits_total \
+		-require pimdl_shard_executions_total \
+		-require pimdl_shard_live \
+		-require pimdl_shard_capacity_fraction \
+		-require pimdl_shard_degraded_ranges \
+		-require pimdl_shard_min_live_replicas \
+		shard-snapshot.json
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX .
 
@@ -124,8 +152,9 @@ examples:
 	$(GO) run ./examples/vit_inference
 	$(GO) run ./examples/serving_sim
 	$(GO) run ./examples/live_serving
+	$(GO) run ./examples/sharded_cluster
 
 clean:
 	rm -f test_output.txt bench_output.txt \
-		metrics-snapshot.json chaos-snapshot.json \
+		metrics-snapshot.json chaos-snapshot.json shard-snapshot.json \
 		bench-nometrics.json bench-metrics.json

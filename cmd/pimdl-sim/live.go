@@ -171,9 +171,33 @@ func runLive(cfg *simConfig, out io.Writer) error {
 		return err
 	}
 
-	pimBE, err := live.NewPIMBackend(plat, w, tuned.Mapping, pimLat)
-	if err != nil {
-		return err
+	// The primary backend: a single PIM array, or — under -shards — the
+	// cluster backend whose attempts route around dead shards. Either way
+	// the healthy-batch latency model comes from the full-array timing
+	// simulator; the sharded backend scales it by the cluster's modelled
+	// degradation ratio under the active plan and shard state.
+	var pimBE interface {
+		live.Backend
+		live.ChaosTarget
+	}
+	if cfg.shard != nil {
+		cl, _, err := buildCluster(plat, w, cfg.shard)
+		if err != nil {
+			return err
+		}
+		sbe, err := live.NewShardedPIMBackend(cl, pimLat)
+		if err != nil {
+			return err
+		}
+		stdout.printf("Cluster: %d shards x %d replicas (%d row blocks)\n",
+			cfg.shard.cfg.Shards, cl.P.MaxReplicas(), cl.RowBlocks())
+		pimBE = sbe
+	} else {
+		be, err := live.NewPIMBackend(plat, w, tuned.Mapping, pimLat)
+		if err != nil {
+			return err
+		}
+		pimBE = be
 	}
 	var hostBE live.Backend
 	if lc.server.Breaker.Enabled() || lc.server.Shed == live.ShedDegrade {
@@ -225,16 +249,32 @@ func runLive(cfg *simConfig, out io.Writer) error {
 		return err
 	}
 
+	// Chaos window: -live-chaos injects the -fault-* plan at 0.4 of the
+	// horizon and heals at 0.7; -shard-kill (with -shards) kills those
+	// shards over the same window and revives them. Both can combine into
+	// one storm. A plain -fault-* plan without -live-chaos degrades the
+	// whole run, so shard storm events must carry it through.
 	var sched live.ChaosSchedule
-	if lc.chaos {
-		sched = live.ChaosSchedule{
-			{At: 0.4 * horizon, Plan: cfg.faults, Note: "storm"},
-			{At: 0.7 * horizon, Note: "heal"},
+	shardKill := cfg.shard != nil && len(cfg.shard.kill) > 0
+	if lc.chaos || shardKill {
+		storm := live.ChaosEvent{At: 0.4 * horizon, Note: "storm"}
+		heal := live.ChaosEvent{At: 0.7 * horizon, Note: "heal"}
+		if lc.chaos {
+			storm.Plan = cfg.faults
+			stdout.printf("Chaos: fault storm (dead=%.2f flip=%.2f straggler=%.2f) over t=[%.3g, %.3g]\n",
+				cfg.faults.DeadPEFraction, cfg.faults.FlipRate, cfg.faults.StragglerSpread,
+				0.4*horizon, 0.7*horizon)
+		} else if !cfg.faults.IsZero() {
+			storm.Plan, heal.Plan = cfg.faults, cfg.faults
 		}
-		stdout.printf("Chaos: fault storm (dead=%.2f flip=%.2f straggler=%.2f) over t=[%.3g, %.3g]\n",
-			cfg.faults.DeadPEFraction, cfg.faults.FlipRate, cfg.faults.StragglerSpread,
-			0.4*horizon, 0.7*horizon)
-	} else if !cfg.faults.IsZero() {
+		if shardKill {
+			storm.KillShards = cfg.shard.kill
+			heal.ReviveShards = cfg.shard.kill
+			stdout.printf("Chaos: shards %v down over t=[%.3g, %.3g]\n", cfg.shard.kill, 0.4*horizon, 0.7*horizon)
+		}
+		sched = live.ChaosSchedule{storm, heal}
+	}
+	if !lc.chaos && !cfg.faults.IsZero() {
 		// A plain -fault-* plan in live mode degrades the whole run.
 		pimBE.SetPlan(cfg.faults)
 		stdout.printf("Fault plan active for the whole run (dead=%.2f flip=%.2f straggler=%.2f)\n",
@@ -255,6 +295,9 @@ func runLive(cfg *simConfig, out io.Writer) error {
 		sum.Submitted, sum.Served, sum.Degraded, sum.ShedQueue, sum.Timeouts, sum.Failures)
 	stdout.printf("  batches %d | attempts %d | retries %d | DMA retries %d | served past deadline %d\n",
 		sum.Batches, sum.Attempts, sum.Retries, sum.DMARetries, sum.Expired)
+	if cfg.shard != nil {
+		stdout.printf("  cluster: %d tiles served off their preferred replica (failovers)\n", sum.Failovers)
+	}
 	br := srv.Breaker()
 	if lc.server.Breaker.Enabled() {
 		stdout.printf("  breaker: %d trips, %d recoveries, final state %v | host-served requests %d\n",

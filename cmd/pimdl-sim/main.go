@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pim"
 	"repro/internal/prof"
+	"repro/internal/shard"
 	"repro/internal/tensor"
 )
 
@@ -35,9 +36,10 @@ type simConfig struct {
 	n, h, f, v, ct int
 	seed           int64
 	faults         pim.FaultPlan
-	metricsPath    string      // write a metrics snapshot here after the run
-	pprofDir       string      // write cpu/heap profiles into this directory
-	live           *liveConfig // non-nil: run the live serving runtime instead
+	metricsPath    string       // write a metrics snapshot here after the run
+	pprofDir       string       // write cpu/heap profiles into this directory
+	live           *liveConfig  // non-nil: run the live serving runtime instead
+	shard          *shardConfig // non-nil: place the operator across a DIMM cluster
 }
 
 // parseFlags parses and validates args (without the program name),
@@ -60,6 +62,7 @@ func parseFlags(args []string, stderr io.Writer) (*simConfig, error) {
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot to this file after the run (.prom/.txt for Prometheus text, anything else for JSON)")
 	pprofDir := fs.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
 	buildLive := liveFlags(fs)
+	buildShard := shardFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -104,6 +107,17 @@ func parseFlags(args []string, stderr io.Writer) (*simConfig, error) {
 	if cfg.live, err = buildLive(cfg.faults); err != nil {
 		return nil, err
 	}
+	if cfg.shard, err = buildShard(); err != nil {
+		return nil, err
+	}
+	if cfg.shard != nil {
+		// Surface workload/cluster shape mismatches (F vs shards, N vs row
+		// blocks) at parse time rather than as a runtime error.
+		w := pim.Workload{N: cfg.n, CB: cfg.h / cfg.v, CT: cfg.ct, F: cfg.f, ElemBytes: 4}
+		if _, _, err := shard.TileWorkload(w, cfg.shard.cfg); err != nil {
+			return nil, err
+		}
+	}
 	cfg.metricsPath, cfg.pprofDir = *metricsPath, *pprofDir
 	if cfg.metricsPath != "" {
 		if err := metrics.ValidateOutputPath(cfg.metricsPath); err != nil {
@@ -134,6 +148,9 @@ func (p *printer) printf(format string, args ...any) {
 func run(cfg *simConfig, out io.Writer) error {
 	if cfg.live != nil {
 		return runLive(cfg, out)
+	}
+	if cfg.shard != nil {
+		return runSharded(cfg, out)
 	}
 	stdout := &printer{w: out}
 	rng := rand.New(rand.NewSource(cfg.seed))

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseShardFlagsValidation: the -shard* flag family must reject
+// every illegal cluster shape at parse time — including workload
+// divisibility, which New would otherwise only surface mid-run — and
+// must only build a shard config when -shards was given.
+func TestParseShardFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; empty means parse must succeed
+	}{
+		{"shards-defaults", []string{"-shards", "4"}, ""},
+		{"shards-all-flags", []string{"-shards", "4", "-shard-replicas", "2",
+			"-shard-hot-replicas", "4", "-shard-hot-frac", "0.25", "-shard-rowblocks", "8",
+			"-shard-link-bw", "1e10", "-shard-link-lat", "1e-6", "-shard-kill", "1,3"}, ""},
+		{"single-shard", []string{"-shards", "1"}, ""},
+		{"kill-with-spaces", []string{"-shards", "4", "-shard-kill", " 0, 2 "}, ""},
+		{"negative-shards", []string{"-shards", "-2"}, "Shards"},
+		{"zero-replicas", []string{"-shards", "4", "-shard-replicas", "0"}, "Replicas"},
+		{"replicas-over-shards", []string{"-shards", "2", "-shard-replicas", "3"}, "Replicas"},
+		{"hot-below-base", []string{"-shards", "4", "-shard-replicas", "2", "-shard-hot-replicas", "1"}, "HotReplicas"},
+		{"hot-frac-over-one", []string{"-shards", "4", "-shard-hot-frac", "1.5"}, "HotFraction"},
+		{"negative-rowblocks", []string{"-shards", "4", "-shard-rowblocks", "-1"}, "RowBlocks"},
+		{"zero-link-bw", []string{"-shards", "4", "-shard-link-bw", "0"}, "bandwidth"},
+		{"negative-link-lat", []string{"-shards", "4", "-shard-link-lat", "-1e-6"}, "latency"},
+		{"kill-garbage", []string{"-shards", "4", "-shard-kill", "1,x"}, "bad shard ID"},
+		{"kill-out-of-range", []string{"-shards", "4", "-shard-kill", "4"}, "outside"},
+		{"kill-negative", []string{"-shards", "4", "-shard-kill", "-1"}, "outside"},
+		{"kill-without-shards", []string{"-shard-kill", "1"}, "-shard-kill needs -shards"},
+		{"f-not-divisible", []string{"-shards", "3", "-f", "512"}, "not divisible"},
+		{"n-not-divisible", []string{"-shards", "4", "-shard-rowblocks", "3", "-n", "512"}, "not divisible"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cfg, err := parseFlags(tc.args, &stderr)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseFlags(%v) = %v", tc.args, err)
+				}
+				if cfg.shard == nil {
+					t.Fatalf("-shards given but no shard config: %+v", cfg)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseFlags(%v) accepted invalid flags: %+v", tc.args, cfg)
+			}
+			if !strings.Contains(err.Error()+stderr.String(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestShardFlagsOffByDefault: without -shards, the -shard* knobs are
+// inert and run takes the single-array path.
+func TestShardFlagsOffByDefault(t *testing.T) {
+	cfg, err := parseFlags([]string{"-shard-replicas", "2"}, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.shard != nil {
+		t.Fatalf("shard config built without -shards: %+v", cfg.shard)
+	}
+}
+
+// TestParseShardKillList pins the parsed kill list.
+func TestParseShardKillList(t *testing.T) {
+	cfg, err := parseFlags([]string{"-shards", "8", "-shard-kill", "1,3,6"}, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 6}
+	if len(cfg.shard.kill) != len(want) {
+		t.Fatalf("kill list %v, want %v", cfg.shard.kill, want)
+	}
+	for i, id := range want {
+		if cfg.shard.kill[i] != id {
+			t.Fatalf("kill list %v, want %v", cfg.shard.kill, want)
+		}
+	}
+}
+
+// TestRunShardedEndToEnd drives the offline -shards CLI path: place a
+// small operator on 4 shards with a dead one, fail its tiles over to the
+// replicas, and report the functional check, the cluster timing and the
+// capacity summary.
+func TestRunShardedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes a mapping space and executes the cluster functionally")
+	}
+	args := []string{"-n", "64", "-h", "32", "-f", "64", "-v", "4", "-ct", "8",
+		"-shards", "4", "-shard-replicas", "2", "-shard-kill", "1",
+		"-fault-dead", "0.1", "-fault-flip", "0.2", "-fault-seed", "7"}
+	cfg, err := parseFlags(args, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("runSharded: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Cluster: 4 shards", "LUT range [", "Dead shards: [1]",
+		"Functional check", "Routing: 3/4 shards live", "failovers",
+		"Makespan:", "Capacity:", "Fault recovery",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("sharded run output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "max |diff| = NaN") {
+		t.Fatalf("functional check NaN:\n%s", got)
+	}
+}
+
+// TestRunShardedIrrecoverable: killing every replica of a range is a
+// clean, explanatory error, not a panic.
+func TestRunShardedIrrecoverable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes a mapping space")
+	}
+	args := []string{"-n", "64", "-h", "32", "-f", "64", "-v", "4", "-ct", "8",
+		"-shards", "4", "-shard-replicas", "2", "-shard-kill", "1,2"}
+	cfg, err := parseFlags(args, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run(cfg, &out)
+	if err == nil {
+		t.Fatalf("run succeeded with every replica of range 1 dead:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "Irrecoverable") {
+		t.Fatalf("output does not explain the irrecoverable loss:\n%s", out.String())
+	}
+}
+
+// TestRunLiveShardedEndToEnd drives -live -shards together: the sharded
+// backend behind the serving runtime, with a mid-run shard kill storm.
+func TestRunLiveShardedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes a mapping space and runs a scaled-time serving run")
+	}
+	args := []string{"-n", "64", "-h", "32", "-f", "64", "-v", "4", "-ct", "8",
+		"-shards", "4", "-shard-replicas", "2", "-shard-kill", "1",
+		"-live", "-live-requests", "400"}
+	cfg, err := parseFlags(args, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("runLive sharded: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Cluster: 4 shards", "Chaos: shards [1] down",
+		"conservation checked", "cluster:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("sharded live output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 // per-thread generator by design. Tests may append fixture paths.
 var DeterminismPackages = []string{
 	"internal/pim",
+	"internal/shard",
 	"internal/lutnn",
 	"internal/kmeans",
 	"internal/tensor",

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/pim"
+	"repro/internal/shard"
+)
+
+// This file estimates end-to-end latency on a sharded cluster: the model's
+// LUT operators are placed across N DIMM shards (internal/shard) with
+// replicated sub-LUT ranges, and misbehaviour is handled at two
+// granularities — PE faults inside a shard degrade it through the same
+// pim machinery EstimateDegraded uses, while whole-shard loss re-routes
+// tiles onto replicas. Only when every replica of some LUT range is gone
+// (shard.ErrAllReplicasLost, matching pim.ErrIrrecoverable) does an
+// operator fall back to host GEMM, exactly like the single-array path.
+
+// ShardedReport is the engine's estimate for one configuration on a
+// sharded cluster under a fault plan and shard state.
+type ShardedReport struct {
+	Report
+	Plan     pim.FaultPlan
+	ShardCfg shard.Config
+	// Capacity is the worst capacity view across the model's LUT
+	// operators (different tile shapes can tolerate different fault
+	// levels, so health is per operator).
+	Capacity shard.CapacityReport
+	// FallbackOps counts LUT operators that fell back to host GEMM
+	// because some LUT range had lost every replica.
+	FallbackOps int
+	// Failovers / ReplicaHits aggregate the route accounting across ops.
+	Failovers, ReplicaHits int
+}
+
+// EstimateSharded produces the PIM-DL report for a cluster of
+// scfg.Shards DIMM shards under a fault plan and shard up/down state.
+// The platform in cfg describes the WHOLE array; each shard gets its
+// 1/Nth slice (shard.PerShardPlatform). Mappings are tuned per
+// cluster-tile on the per-shard platform at model-load time, then
+// evaluated against the faulty cluster. A single-shard cluster with a
+// zero plan and an all-up state reproduces EstimatePIMDL exactly
+// (TestShardedSingleShardMatchesPIMDL pins it).
+func (e *Engine) EstimateSharded(cfg Config, scfg shard.Config, plan pim.FaultPlan, st shard.State) (*ShardedReport, error) {
+	shardPlat, err := shard.PerShardPlatform(cfg.Platform, scfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	c := cfg.Model
+	n := cfg.rows()
+	rep := &ShardedReport{
+		Report: Report{Config: fmt.Sprintf("PIM-DL/%s/cluster%dx%d", cfg.Platform.Name, scfg.Shards, scfg.Replicas),
+			Batch: cfg.Batch, SeqLen: c.SeqLen, ArrayPEs: cfg.Platform.NumPE},
+		Plan:     plan,
+		ShardCfg: scfg,
+		Capacity: shard.CapacityReport{Shards: scfg.Shards},
+	}
+	haveCap := false
+
+	for layer := 0; layer < c.Layers; layer++ {
+		for _, role := range nn.Roles {
+			f, h := c.LinearShape(role)
+			if h%cfg.Params.V != 0 {
+				return nil, fmt.Errorf("engine: V=%d does not divide %d (%v)", cfg.Params.V, h, role)
+			}
+			w := pim.Workload{N: n, CB: h / cfg.Params.V, CT: cfg.Params.CT, F: f, ElemBytes: cfg.LUTElemBytes}
+			tileW, _, err := shard.TileWorkload(w, scfg)
+			if err != nil {
+				return nil, fmt.Errorf("engine: sharding %v: %w", role, err)
+			}
+			tuned, err := e.TunedMapping(shardPlat, tileW, cfg.Space)
+			if err != nil {
+				return nil, err
+			}
+			cl, err := shard.New(shardPlat, w, tuned.Mapping, scfg, nil)
+			if err != nil {
+				return nil, fmt.Errorf("engine: placing %v: %w", role, err)
+			}
+			ct, err := cl.Estimate(plan, st)
+			switch {
+			case errors.Is(err, pim.ErrIrrecoverable):
+				// Every replica of some range is gone — the only condition
+				// that pushes a sharded operator back onto the host.
+				t := cfg.Host.GEMMTime(n, h, f, cfg.HostPrec)
+				rep.Ops = append(rep.Ops, OpCost{Name: "GEMM-" + role.String() + "-fallback",
+					Class: ClassOther, Layer: layer, Role: role, Time: t, Fallback: true})
+				rep.HostTime += t
+				rep.FallbackOps++
+				continue
+			case err != nil:
+				return nil, fmt.Errorf("engine: sharded timing for %v: %w", role, err)
+			}
+			if !haveCap || ct.Capacity.Fraction < rep.Capacity.Fraction {
+				rep.Capacity = ct.Capacity
+				haveCap = true
+			}
+			rep.Failovers += ct.Failovers
+			rep.ReplicaHits += ct.ReplicaHits
+			var rec *pim.Recovery
+			if !plan.IsZero() {
+				agg := pim.Recovery{WorstSlowdown: 1}
+				for _, stg := range ct.PerShard {
+					agg.DeadPEs += stg.DeadPEs
+					agg.Redispatched += stg.Redispatched
+					agg.Retries += stg.Retries
+					agg.ResidualCorrupt += stg.Residual
+					if stg.WorstSlowdown > agg.WorstSlowdown {
+						agg.WorstSlowdown = stg.WorstSlowdown
+					}
+				}
+				rec = &agg
+			}
+			ccs := cfg.Host.CCSTime(n, h, cfg.Params.CT, cfg.HostPrec)
+			rep.Ops = append(rep.Ops,
+				OpCost{Name: "CCS-" + role.String(), Class: ClassCCS, Layer: layer, Role: role, Time: ccs},
+				OpCost{Name: "LUT-" + role.String(), Class: ClassLUT, Layer: layer, Role: role,
+					Time: ct.SteadyMakespan, OnPIM: true, PEs: tuned.Mapping.PEs(tileW) * ct.LiveShards,
+					Recovery: rec},
+			)
+			rep.HostTime += ccs
+			rep.PIMTime += ct.SteadyMakespan
+		}
+		// Attention stays on the host; elementwise stripes over whatever
+		// survives of the cluster (every live PE, as the single-array
+		// estimate stripes over the whole array), or runs on the host once
+		// nothing survives.
+		att := cfg.Host.AttentionTime(cfg.Batch, c.SeqLen, c.Hidden, c.Heads, cfg.HostPrec)
+		elems := 4*n*c.Hidden + n*c.FFN
+		livePlat := *cfg.Platform
+		livePlat.NumPE = rep.Capacity.LivePE
+		if !haveCap {
+			livePlat.NumPE = 0
+		}
+		var elem float64
+		onPIM := livePlat.NumPE > 0
+		if onPIM {
+			elem = pim.ElementwiseOnPIM(&livePlat, elems)
+		} else {
+			elem = cfg.Host.ElementwiseTime(elems)
+		}
+		rep.Ops = append(rep.Ops,
+			OpCost{Name: "Attention", Class: ClassOther, Layer: layer, Time: att},
+			OpCost{Name: "Elementwise", Class: ClassOther, Layer: layer, Time: elem, OnPIM: onPIM, PEs: livePlat.NumPE},
+		)
+		rep.HostTime += att
+		if onPIM {
+			rep.PIMTime += elem
+		} else {
+			rep.HostTime += elem
+		}
+	}
+	recordReport(&rep.Report)
+	return rep, nil
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/pim"
+	"repro/internal/shard"
+)
+
+// TestShardedSingleShardMatchesPIMDL pins the acceptance criterion at
+// the engine layer: a 1-shard healthy cluster reproduces the unsharded
+// estimate op for op.
+func TestShardedSingleShardMatchesPIMDL(t *testing.T) {
+	e := New()
+	cfg := bertBaseCfg()
+	cfg.Model.Layers = 1
+	base, err := e.EstimatePIMDL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.EstimateSharded(cfg, shard.Config{Shards: 1, Replicas: 1}, pim.FaultPlan{}, shard.NewState(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Ops, base.Ops) {
+		t.Fatalf("single-shard ops diverge from EstimatePIMDL:\n%+v\nvs\n%+v", rep.Ops, base.Ops)
+	}
+	if rep.Total() != base.Total() || rep.HostTime != base.HostTime || rep.PIMTime != base.PIMTime {
+		t.Fatalf("single-shard totals diverge: %g/%g/%g vs %g/%g/%g",
+			rep.Total(), rep.HostTime, rep.PIMTime, base.Total(), base.HostTime, base.PIMTime)
+	}
+	if rep.FallbackOps != 0 || rep.Capacity.Fraction != 1 {
+		t.Fatalf("healthy single-shard cluster degraded: %+v", rep)
+	}
+}
+
+// TestShardedFailoverDegradesNotFails: with 2 replicas, one dead shard
+// re-routes tiles instead of falling back to the host.
+func TestShardedFailoverDegradesNotFails(t *testing.T) {
+	e := New()
+	cfg := bertBaseCfg()
+	cfg.Model.Layers = 1
+	scfg := shard.Config{Shards: 4, Replicas: 2}
+	healthy, err := e.EstimateSharded(cfg, scfg, pim.FaultPlan{}, shard.NewState(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Failovers != 0 || healthy.FallbackOps != 0 {
+		t.Fatalf("healthy cluster reports failures: %+v", healthy)
+	}
+	st := shard.NewState(4)
+	st.SetDown(0, true)
+	deg, err := e.EstimateSharded(cfg, scfg, pim.FaultPlan{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.FallbackOps != 0 {
+		t.Fatalf("one dead shard with 2 replicas forced %d host fallbacks", deg.FallbackOps)
+	}
+	if deg.Failovers == 0 {
+		t.Fatal("no failovers recorded with a dead shard")
+	}
+	if deg.Capacity.Fraction != 0.75 || deg.Capacity.MinLiveReplicas != 1 {
+		t.Fatalf("capacity report %+v, want 3/4 capacity at 1 live replica", deg.Capacity)
+	}
+	if deg.Total() < healthy.Total() {
+		t.Fatalf("failover estimate %g faster than healthy %g", deg.Total(), healthy.Total())
+	}
+}
+
+// TestShardedAllReplicasLostFallsBack: losing every replica of a range
+// pushes the LUT operators back onto host GEMM — same escape hatch as
+// the single-array irrecoverable path — and the report stays finite.
+func TestShardedAllReplicasLostFallsBack(t *testing.T) {
+	e := New()
+	cfg := bertBaseCfg()
+	cfg.Model.Layers = 1
+	st := shard.NewState(4)
+	st.SetDown(0, true) // range 0's replicas are shards {0, 1}
+	st.SetDown(1, true)
+	rep, err := e.EstimateSharded(cfg, shard.Config{Shards: 4, Replicas: 2}, pim.FaultPlan{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FallbackOps == 0 {
+		t.Fatal("no host fallbacks with a fully lost range")
+	}
+	nLUT := 0
+	for _, op := range rep.Ops {
+		if op.Class == ClassLUT {
+			nLUT++
+		}
+		if op.Fallback && !op.OnPIM && op.Time <= 0 {
+			t.Fatalf("fallback op %s has no cost", op.Name)
+		}
+	}
+	if nLUT != 0 {
+		t.Fatalf("%d LUT ops survived with a fully lost range", nLUT)
+	}
+	if rep.Total() <= 0 {
+		t.Fatal("report not finite")
+	}
+}

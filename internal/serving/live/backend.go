@@ -28,6 +28,10 @@ type Outcome struct {
 	DeadPEs       int
 	Redispatched  int
 	WorstSlowdown float64
+	// Failovers / LiveShards carry the cluster route accounting of a
+	// sharded PIM attempt (zero for single-array and host backends).
+	Failovers  int
+	LiveShards int
 }
 
 // Backend executes one batch attempt and reports its modelled latency

@@ -3,18 +3,30 @@ package live
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/parallel"
 	"repro/internal/pim"
 )
 
-// ChaosEvent swaps the PIM backend's fault plan at a virtual time: dead
-// PEs appear, DMA flips start, stragglers slow down — or the array
-// heals (zero plan). Note annotates the timeline.
+// ChaosEvent mutates the primary backend at a virtual time: it swaps
+// the fault plan (dead PEs appear, DMA flips start, stragglers slow
+// down — or the array heals with a zero plan), and on a sharded backend
+// it can additionally kill or revive whole DIMM shards. Note annotates
+// the timeline.
 type ChaosEvent struct {
 	At   float64
 	Plan pim.FaultPlan
-	Note string
+	// KillShards / ReviveShards mark whole shards down/up before the
+	// plan swap takes effect. They require a ShardChaosTarget backend.
+	KillShards   []int
+	ReviveShards []int
+	Note         string
+}
+
+// shardOps reports whether the event touches shard up/down state.
+func (ev ChaosEvent) shardOps() bool {
+	return len(ev.KillShards) > 0 || len(ev.ReviveShards) > 0
 }
 
 // ChaosSchedule is a time-ordered list of fault-plan changes.
@@ -32,25 +44,64 @@ func (cs ChaosSchedule) Validate() error {
 		if err := ev.Plan.Validate(); err != nil {
 			return fmt.Errorf("live: chaos event %d: %w", i, err)
 		}
+		for _, s := range append(append([]int(nil), ev.KillShards...), ev.ReviveShards...) {
+			if s < 0 {
+				return fmt.Errorf("live: chaos event %d kills negative shard %d", i, s)
+			}
+		}
 	}
 	return nil
 }
 
+// ChaosTarget is the mutation surface the chaos controller drives: any
+// primary backend whose fault plan can be swapped mid-run. *PIMBackend
+// and *ShardedPIMBackend implement it.
+type ChaosTarget interface {
+	SetPlan(pim.FaultPlan)
+}
+
+// ShardChaosTarget additionally exposes whole-shard kill/revive
+// (*ShardedPIMBackend).
+type ShardChaosTarget interface {
+	ChaosTarget
+	SetShardDown(id int, down bool)
+}
+
 // RunChaos plays the schedule against the backend in (scaled) real
-// time, recording each plan change on the recorder's timeline. Run it
-// on its own goroutine; it returns after the last event fires.
-func RunChaos(clock *ScaledClock, be *PIMBackend, rec *Recorder, sched ChaosSchedule) {
+// time, recording each change on the recorder's timeline. Run it on its
+// own goroutine; it returns after the last event fires. Shard kill
+// events against a non-sharded target are a validation error surfaced
+// by RunScenario; here they are ignored.
+func RunChaos(clock *ScaledClock, be ChaosTarget, rec *Recorder, sched ChaosSchedule) {
 	events := append(ChaosSchedule(nil), sched...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 	for _, ev := range events {
 		if d := ev.At - clock.Now(); d > 0 {
 			clock.Sleep(d)
 		}
+		if sct, ok := be.(ShardChaosTarget); ok && ev.shardOps() {
+			for _, s := range ev.KillShards {
+				sct.SetShardDown(s, true)
+			}
+			for _, s := range ev.ReviveShards {
+				sct.SetShardDown(s, false)
+			}
+		}
 		be.SetPlan(ev.Plan)
 		note := ev.Note
 		if note == "" {
 			note = fmt.Sprintf("dead=%.2f flip=%.2f straggler=%.2f",
 				ev.Plan.DeadPEFraction, ev.Plan.FlipRate, ev.Plan.StragglerSpread)
+		}
+		if ev.shardOps() {
+			var ops []string
+			if len(ev.KillShards) > 0 {
+				ops = append(ops, fmt.Sprintf("kill-shards=%v", ev.KillShards))
+			}
+			if len(ev.ReviveShards) > 0 {
+				ops = append(ops, fmt.Sprintf("revive-shards=%v", ev.ReviveShards))
+			}
+			note = note + " " + strings.Join(ops, " ")
 		}
 		if rec != nil {
 			rec.AddEvent(Event{At: clock.Now(), Kind: "chaos", Note: note})
@@ -73,11 +124,19 @@ func RunScenario(s *Server, arrivals []Arrival, sched ChaosSchedule) (*ChaosResu
 	if err := sched.Validate(); err != nil {
 		return nil, err
 	}
-	var chaosTarget *PIMBackend
+	var chaosTarget ChaosTarget
 	if len(sched) > 0 {
-		be, ok := s.pimBE.(*PIMBackend)
+		be, ok := s.pimBE.(ChaosTarget)
 		if !ok {
-			return nil, fmt.Errorf("live: chaos schedule needs a *PIMBackend, have %T", s.pimBE)
+			return nil, fmt.Errorf("live: chaos schedule needs a ChaosTarget backend, have %T", s.pimBE)
+		}
+		for _, ev := range sched {
+			if ev.shardOps() {
+				if _, ok := be.(ShardChaosTarget); !ok {
+					return nil, fmt.Errorf("live: shard-kill chaos events need a sharded backend, have %T", s.pimBE)
+				}
+				break
+			}
 		}
 		chaosTarget = be
 	}

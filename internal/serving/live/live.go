@@ -385,6 +385,10 @@ func (s *Server) executeBatch(batch []*Request) {
 		br.AttemptDurs = append(br.AttemptDurs, out.Latency)
 		br.Backends = append(br.Backends, out.Backend)
 		br.DMARetries += out.DMARetries
+		br.Failovers += out.Failovers
+		if out.LiveShards > 0 {
+			br.LiveShards = out.LiveShards
+		}
 		recordAttempt(out, attempt)
 		if out.OK {
 			done := s.clock.Now()

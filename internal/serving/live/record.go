@@ -79,6 +79,11 @@ type BatchRecord struct {
 	AttemptDurs []float64
 	Backends    []string
 	DMARetries  int
+	// Failovers counts cluster tiles served off their preferred replica
+	// across the batch's attempts; LiveShards is the live shard count of
+	// the final attempt (both sharded PIM backend only, zero otherwise).
+	Failovers  int
+	LiveShards int
 	// Failed marks a batch dropped with its retry budget spent.
 	Failed bool
 }
@@ -105,6 +110,7 @@ type Summary struct {
 	Attempts   int
 	Retries    int // attempts beyond the first, across batches
 	DMARetries int
+	Failovers  int // cluster tiles served off their preferred replica
 	HostServed int // primary-lane requests served by the host fallback
 }
 
@@ -219,6 +225,7 @@ func (r *Recorder) Summary() Summary {
 		s.Attempts += b.Attempts
 		s.Retries += b.Attempts - 1
 		s.DMARetries += b.DMARetries
+		s.Failovers += b.Failovers
 	}
 	return s
 }

@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/lutnn"
+	"repro/internal/parallel"
+	"repro/internal/pim"
+	"repro/internal/tensor"
+)
+
+// Result is one functional cluster execution: the assembled N×F output,
+// the routing decision it ran under, the cluster timing decomposition,
+// and the aggregate fault-recovery accounting (nil for zero plans).
+type Result struct {
+	Output   *tensor.Tensor
+	Route    *RoutePlan
+	Timing   *ClusterTiming
+	Recovery *pim.Recovery
+}
+
+// subLUT extracts the feature columns [lo, hi) of tbl as a standalone
+// sub-LUT — the table a shard hosting that range keeps bank-resident.
+// A range spanning the full table aliases it (the single-shard cluster
+// hands pim the caller's exact table).
+func subLUT(tbl *lutnn.LUT, lo, hi int) *lutnn.LUT {
+	if lo == 0 && hi == tbl.F {
+		return tbl
+	}
+	f := hi - lo
+	sub := &lutnn.LUT{CB: tbl.CB, CT: tbl.CT, F: f, Data: make([]float32, tbl.CB*tbl.CT*f)}
+	for cb := 0; cb < tbl.CB; cb++ {
+		for ct := 0; ct < tbl.CT; ct++ {
+			copy(sub.Slice(cb, ct), tbl.Slice(cb, ct)[lo:hi])
+		}
+	}
+	return sub
+}
+
+// ExecuteLUT runs the operator functionally across the cluster: route
+// tiles under (base plan, state), execute each on its shard's simulated
+// array via pim.ExecuteLUTWithFaults with the shard's derived plan, and
+// assemble the N×F output. Each output element's codebook accumulation
+// happens entirely inside one tile in the same order as the unsharded
+// kernel, so for zero fault plans the output is byte-identical to
+// pim.ExecuteLUT regardless of shard count. Tiles execute on the shared
+// worker pool; every tile writes a disjoint output region, so the
+// result is independent of worker count.
+func (c *Cluster) ExecuteLUT(idx []uint8, tbl *lutnn.LUT, base pim.FaultPlan, st State) (*Result, error) {
+	if len(idx) != c.W.N*c.W.CB {
+		return nil, fmt.Errorf("shard: idx length %d != N·CB = %d", len(idx), c.W.N*c.W.CB)
+	}
+	if tbl.CB != c.W.CB || tbl.CT != c.W.CT || tbl.F != c.W.F {
+		return nil, fmt.Errorf("shard: LUT shape %dx%dx%d != workload %dx%dx%d",
+			tbl.CB, tbl.CT, tbl.F, c.W.CB, c.W.CT, c.W.F)
+	}
+	rp, err := c.Route(base, st)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := c.timingFor(rp, base, true)
+	if err != nil {
+		return nil, err
+	}
+
+	subs := make([]*lutnn.LUT, len(c.P.Ranges))
+	for ri, rg := range c.P.Ranges {
+		subs[ri] = subLUT(tbl, rg.Lo, rg.Hi)
+	}
+
+	nb := c.Tile.N
+	results := make([]*pim.Result, len(rp.Tiles))
+	errs := make([]error, len(rp.Tiles))
+	parallel.For(len(rp.Tiles), c.Tile.N*c.Tile.F*c.W.CB, func(lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			t := rp.Tiles[ti]
+			rowLo := t.Block * nb
+			sub := idx[rowLo*c.W.CB : (rowLo+nb)*c.W.CB]
+			results[ti], errs[ti] = pim.ExecuteLUTWithFaults(c.Plat, c.Tile, c.M, sub, subs[t.Range], PlanFor(base, t.Shard))
+		}
+	})
+	for ti, err := range errs {
+		if err != nil {
+			t := rp.Tiles[ti]
+			return nil, fmt.Errorf("shard: tile (block %d, range %d) on shard %d: %w", t.Block, t.Range, t.Shard, err)
+		}
+	}
+
+	res := &Result{Output: tensor.New(c.W.N, c.W.F), Route: rp, Timing: ct}
+	rec := pim.Recovery{WorstSlowdown: 1}
+	haveRec := false
+	deadSeen := make([]bool, c.Cfg.Shards)
+	for ti, pr := range results {
+		t := rp.Tiles[ti]
+		rowLo := t.Block * nb
+		rg := c.P.Ranges[t.Range]
+		for r := 0; r < nb; r++ {
+			copy(res.Output.Row(rowLo + r)[rg.Lo:rg.Hi], pr.Output.Row(r))
+		}
+		if pr.Recovery == nil {
+			continue
+		}
+		haveRec = true
+		// The same PEs are dead for every tile a shard runs; count each
+		// shard's dead set once, but retries and re-dispatches per tile.
+		if !deadSeen[t.Shard] {
+			deadSeen[t.Shard] = true
+			rec.DeadPEs += pr.Recovery.DeadPEs
+		}
+		rec.Redispatched += pr.Recovery.Redispatched
+		rec.Retries += pr.Recovery.Retries
+		rec.ResidualCorrupt += pr.Recovery.ResidualCorrupt
+		if pr.Recovery.WorstSlowdown > rec.WorstSlowdown {
+			rec.WorstSlowdown = pr.Recovery.WorstSlowdown
+		}
+	}
+	if haveRec {
+		res.Recovery = &rec
+	}
+	recordExecution(res)
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/pim"
+	"repro/internal/tensor"
+)
+
+// bytesOf serializes a tensor's payload for byte-identity checks.
+func bytesOf(t *tensor.Tensor) []byte {
+	var buf bytes.Buffer
+	_ = binary.Write(&buf, binary.LittleEndian, t.Data)
+	return buf.Bytes()
+}
+
+// TestSingleShardByteIdentical is the golden acceptance test: a 1-shard
+// cluster is the unsharded path, byte for byte.
+func TestSingleShardByteIdentical(t *testing.T) {
+	w, idx, tbl := testOperator(1, 64, 16, 32, 2, 8)
+	p := pim.UPMEM()
+	m := tileMapping(w)
+	c, err := New(p, w, m, Config{Shards: 1, Replicas: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pim.ExecuteLUT(p, w, m, idx, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.ExecuteLUT(idx, tbl, pim.FaultPlan{}, NewState(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytesOf(res.Output), bytesOf(base.Output)) {
+		t.Fatal("single-shard output not byte-identical to pim.ExecuteLUT")
+	}
+	if res.Recovery != nil {
+		t.Fatal("zero plan produced a Recovery report")
+	}
+	// With faults, the 1-shard cluster runs the exact pim execution under
+	// the shard-0 derived plan.
+	plan := pim.FaultPlan{Seed: 42, DeadPEFraction: 0.5, FlipRate: 0.05}
+	want, err := pim.ExecuteLUTWithFaults(p, w, m, idx, tbl, PlanFor(plan, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ExecuteLUT(idx, tbl, plan, NewState(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytesOf(got.Output), bytesOf(want.Output)) {
+		t.Fatal("single-shard faulty output not byte-identical to pim path under the derived plan")
+	}
+	if got.Recovery == nil || *got.Recovery != *want.Recovery {
+		t.Fatalf("recovery report %+v != pim %+v", got.Recovery, want.Recovery)
+	}
+}
+
+// TestMultiShardByteIdentical: sharding only re-partitions the work —
+// each output element's codebook accumulation order is unchanged, so a
+// 4-shard zero-plan execution is byte-identical to the unsharded kernel.
+func TestMultiShardByteIdentical(t *testing.T) {
+	w, idx, tbl := testOperator(1, 64, 16, 32, 2, 8)
+	p := pim.UPMEM()
+	base, err := pim.ExecuteLUT(p, w, tileMapping(w), idx, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Shards: 4, Replicas: 1},
+		{Shards: 4, Replicas: 2},
+		{Shards: 4, Replicas: 2, HotReplicas: 3, HotFraction: 0.5, RowBlocks: 4},
+		{Shards: 2, Replicas: 2, RowBlocks: 4},
+	} {
+		c, _, _ := newTestCluster(t, cfg, nil)
+		res, err := c.ExecuteLUT(idx, tbl, pim.FaultPlan{}, NewState(cfg.Shards))
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if !bytes.Equal(bytesOf(res.Output), bytesOf(base.Output)) {
+			t.Errorf("%+v: sharded output not byte-identical to unsharded kernel", cfg)
+		}
+	}
+}
+
+// TestFailoverByteIdentical: killing a shard moves tiles onto replicas
+// but must not change a single output byte.
+func TestFailoverByteIdentical(t *testing.T) {
+	c, idx, tbl := newTestCluster(t, Config{Shards: 4, Replicas: 2}, nil)
+	base, err := c.ExecuteLUT(idx, tbl, pim.FaultPlan{}, NewState(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(4)
+	st.SetDown(3, true)
+	res, err := c.ExecuteLUT(idx, tbl, pim.FaultPlan{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Route.Failovers == 0 {
+		t.Fatal("no failovers recorded with shard 3 down")
+	}
+	if !bytes.Equal(bytesOf(res.Output), bytesOf(base.Output)) {
+		t.Fatal("failover changed output bytes")
+	}
+}
+
+// TestShardedFaultRecovery: a cluster-wide fault storm whose corruption
+// stays inside the retry budget recovers to bit-exact agreement with the
+// reference lookup, deterministically.
+func TestShardedFaultRecovery(t *testing.T) {
+	c, idx, tbl := newTestCluster(t, Config{Shards: 4, Replicas: 2}, nil)
+	want := tbl.Lookup(idx, c.W.N)
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13} {
+		plan := pim.FaultPlan{Seed: seed, DeadPEFraction: 0.3, FlipRate: 0.05}
+		res, err := c.ExecuteLUT(idx, tbl, plan, NewState(4))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rec := res.Recovery
+		if rec == nil {
+			t.Fatalf("seed %d: no Recovery report", seed)
+		}
+		if rec.ResidualCorrupt != 0 {
+			t.Fatalf("seed %d: %d residual corruptions", seed, rec.ResidualCorrupt)
+		}
+		if !tensor.Equal(res.Output, want) {
+			t.Fatalf("seed %d: recovered output not bit-exact with reference", seed)
+		}
+		res2, err := c.ExecuteLUT(idx, tbl, plan, NewState(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *res2.Recovery != *rec {
+			t.Fatalf("seed %d: Recovery not deterministic: %+v vs %+v", seed, *res2.Recovery, *rec)
+		}
+		if !bytes.Equal(bytesOf(res2.Output), bytesOf(res.Output)) {
+			t.Fatalf("seed %d: output not deterministic across runs", seed)
+		}
+	}
+}
+
+// TestExecuteShapeChecks covers the input validation paths.
+func TestExecuteShapeChecks(t *testing.T) {
+	c, idx, tbl := newTestCluster(t, Config{Shards: 4, Replicas: 2}, nil)
+	if _, err := c.ExecuteLUT(idx[:len(idx)-1], tbl, pim.FaultPlan{}, NewState(4)); err == nil {
+		t.Error("short idx accepted")
+	}
+	bad := *tbl
+	bad.F = tbl.F - 1
+	if _, err := c.ExecuteLUT(idx, &bad, pim.FaultPlan{}, NewState(4)); err == nil {
+		t.Error("mis-shaped LUT accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// Cluster-layer metrics. Per-shard counters carry a shard="<id>" label;
+// the gauges expose the cluster's last-observed degraded-capacity view
+// (the same numbers CapacityReport threads up to the engine and the
+// live breaker path). TestShardMetricsSnapshot pins the family.
+var shardMetrics = struct {
+	routes        *metrics.Counter
+	dispatch      *metrics.CounterFamily // shard="<id>"
+	failovers     *metrics.CounterFamily // shard="<id>" (receiving shard)
+	replicaHits   *metrics.Counter
+	irrecoverable *metrics.Counter
+	executions    *metrics.Counter
+	dmaRetries    *metrics.CounterFamily // shard="<id>"
+	redispatch    *metrics.CounterFamily // shard="<id>"
+	live          *metrics.Gauge
+	capacity      *metrics.Gauge
+	degradedRng   *metrics.Gauge
+	minReplicas   *metrics.Gauge
+}{}
+
+func init() {
+	r := metrics.Default()
+	m := &shardMetrics
+	m.routes = r.NewCounter("pimdl_shard_routes_total",
+		"cluster routing decisions computed")
+	m.dispatch = r.NewCounterFamily("pimdl_shard_dispatch_total",
+		"cluster tiles dispatched, by serving shard", "shard")
+	m.failovers = r.NewCounterFamily("pimdl_shard_failover_total",
+		"tiles re-routed off a down/unfit preferred replica, by receiving shard", "shard")
+	m.replicaHits = r.NewCounter("pimdl_shard_replica_hits_total",
+		"tiles served by a non-home replica (load spreading plus failover)")
+	m.irrecoverable = r.NewCounter("pimdl_shard_irrecoverable_total",
+		"routing failures with every replica of some LUT range lost")
+	m.executions = r.NewCounter("pimdl_shard_executions_total",
+		"functional cluster executions completed")
+	m.dmaRetries = r.NewCounterFamily("pimdl_shard_dma_retries_total",
+		"checksum-failed DMA transfers re-issued, by shard", "shard")
+	m.redispatch = r.NewCounterFamily("pimdl_shard_redispatch_total",
+		"PE tiles re-run on healthy PEs after dead-PE loss, by shard", "shard")
+	m.live = r.NewGauge("pimdl_shard_live",
+		"shards currently serving (healthy or degraded)")
+	m.capacity = r.NewGauge("pimdl_shard_capacity_fraction",
+		"live PEs as a fraction of the cluster total")
+	m.degradedRng = r.NewGauge("pimdl_shard_degraded_ranges",
+		"LUT ranges running below their placed replica count")
+	m.minReplicas = r.NewGauge("pimdl_shard_min_live_replicas",
+		"smallest live replica count across LUT ranges")
+}
+
+// recordRoute folds one routing decision.
+func recordRoute(rp *RoutePlan) {
+	if !metrics.Enabled() {
+		return
+	}
+	m := &shardMetrics
+	m.routes.Inc()
+	m.replicaHits.Add(int64(rp.ReplicaHits))
+	m.live.Set(float64(rp.LiveShards))
+	for s, tiles := range rp.PerShard {
+		if len(tiles) == 0 {
+			continue
+		}
+		label := strconv.Itoa(s)
+		m.dispatch.With(label).Add(int64(len(tiles)))
+		fo := 0
+		for _, ti := range tiles {
+			if rp.Tiles[ti].Failover {
+				fo++
+			}
+		}
+		if fo > 0 {
+			m.failovers.With(label).Add(int64(fo))
+		}
+	}
+}
+
+// recordIrrecoverable folds one all-replicas-lost routing failure.
+func recordIrrecoverable() {
+	if metrics.Enabled() {
+		shardMetrics.irrecoverable.Inc()
+	}
+}
+
+// recordTiming folds one cluster timing estimate's recovery accounting.
+func recordTiming(ct *ClusterTiming) {
+	if !metrics.Enabled() {
+		return
+	}
+	m := &shardMetrics
+	for _, stg := range ct.PerShard {
+		if stg.Retries == 0 && stg.Redispatched == 0 {
+			continue
+		}
+		label := strconv.Itoa(stg.Shard)
+		if stg.Retries > 0 {
+			m.dmaRetries.With(label).Add(int64(stg.Retries))
+		}
+		if stg.Redispatched > 0 {
+			m.redispatch.With(label).Add(int64(stg.Redispatched))
+		}
+	}
+}
+
+// recordCapacity folds the last-observed degraded-capacity view.
+func recordCapacity(cr CapacityReport) {
+	if !metrics.Enabled() {
+		return
+	}
+	m := &shardMetrics
+	m.capacity.Set(cr.Fraction)
+	m.degradedRng.Set(float64(cr.DegradedRanges))
+	m.minReplicas.Set(float64(cr.MinLiveReplicas))
+}
+
+// recordExecution folds one functional cluster execution.
+func recordExecution(*Result) {
+	if metrics.Enabled() {
+		shardMetrics.executions.Inc()
+	}
+}

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/pim"
+)
+
+// metricsDelta runs fn and returns the change of every default-registry
+// series across it (same idiom as the live-runtime pin test).
+func metricsDelta(fn func()) map[string]float64 {
+	before := metrics.Default().Flatten()
+	fn()
+	after := metrics.Default().Flatten()
+	for k, v := range before {
+		after[k] -= v
+	}
+	return after
+}
+
+// TestShardMetricsSnapshot pins the pimdl_shard_* family against the
+// route/timing/execution accounting it mirrors.
+func TestShardMetricsSnapshot(t *testing.T) {
+	if !metrics.Enabled() {
+		t.Skip("metrics disabled via PIMDL_METRICS")
+	}
+	c, idx, tbl := newTestCluster(t, Config{Shards: 4, Replicas: 2}, nil)
+	st := NewState(4)
+	st.SetDown(1, true)
+	var res *Result
+	d := metricsDelta(func() {
+		var err error
+		res, err = c.ExecuteLUT(idx, tbl, pim.FaultPlan{}, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// And one all-replicas-lost routing failure for the counter.
+		lost := NewState(4)
+		lost.SetDown(0, true)
+		lost.SetDown(1, true)
+		if _, err := c.Route(pim.FaultPlan{}, lost); err == nil {
+			t.Fatal("expected all-replicas-lost error")
+		}
+	})
+
+	rp := res.Route
+	dispatched := 0.0
+	for s, tiles := range rp.PerShard {
+		key := `pimdl_shard_dispatch_total{shard="` + strconv.Itoa(s) + `"}`
+		if got := d[key]; got != float64(len(tiles)) {
+			t.Errorf("%s = %g, want %d", key, got, len(tiles))
+		}
+		dispatched += float64(len(tiles))
+	}
+	if dispatched != float64(len(rp.Tiles)) {
+		t.Errorf("dispatch counters cover %g tiles, route has %d", dispatched, len(rp.Tiles))
+	}
+	checks := map[string]float64{
+		// Only completed routes count; the all-replicas-lost attempt shows
+		// up in irrecoverable_total instead.
+		"pimdl_shard_routes_total":        1,
+		"pimdl_shard_replica_hits_total":  float64(rp.ReplicaHits),
+		"pimdl_shard_irrecoverable_total": 1,
+		"pimdl_shard_executions_total":    1,
+	}
+	for k, want := range checks {
+		if got := d[k]; got != want {
+			t.Errorf("%s = %g, want %g", k, got, want)
+		}
+	}
+	// Failover counters sum to the route's failover count.
+	fo := 0.0
+	for s := 0; s < 4; s++ {
+		fo += d[`pimdl_shard_failover_total{shard="`+strconv.Itoa(s)+`"}`]
+	}
+	if fo != float64(rp.Failovers) {
+		t.Errorf("failover counters sum %g, route has %d", fo, rp.Failovers)
+	}
+	// Gauges reflect the last observed route (the failed one leaves the
+	// previous capacity view in place; the successful route set these).
+	flat := metrics.Default().Flatten()
+	if got := flat["pimdl_shard_live"]; got != 3 {
+		t.Errorf("pimdl_shard_live = %g, want 3", got)
+	}
+	if got := flat["pimdl_shard_capacity_fraction"]; got != 0.75 {
+		t.Errorf("pimdl_shard_capacity_fraction = %g, want 0.75", got)
+	}
+	if got := flat["pimdl_shard_degraded_ranges"]; got != 2 {
+		t.Errorf("pimdl_shard_degraded_ranges = %g, want 2", got)
+	}
+	if got := flat["pimdl_shard_min_live_replicas"]; got != 1 {
+		t.Errorf("pimdl_shard_min_live_replicas = %g, want 1", got)
+	}
+}

@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pim"
+)
+
+// ErrAllReplicasLost reports that some LUT range has no live replica
+// left: the cluster cannot produce those output features at all. It
+// wraps pim.ErrIrrecoverable so every existing errors.Is fallback path
+// (engine host-GEMM, the live breaker) fires unchanged.
+var ErrAllReplicasLost = fmt.Errorf("shard: every replica of a LUT range lost: %w", pim.ErrIrrecoverable)
+
+// Health classifies one shard for routing.
+type Health int
+
+const (
+	// Healthy: no faults injected on this shard.
+	Healthy Health = iota
+	// Degraded: the shard's fault plan injects faults but the mapping
+	// still fits the surviving PEs — it serves, slower.
+	Degraded
+	// Unfit: the shard is up but its fault plan kills so many PEs the
+	// tile mapping no longer fits; its tiles fail over like a dead
+	// shard's.
+	Unfit
+	// Down: the shard is administratively or physically dead (chaos
+	// kill, ops drain).
+	Down
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Unfit:
+		return "unfit"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
+// Serves reports whether a shard in this state accepts tiles.
+func (h Health) Serves() bool { return h == Healthy || h == Degraded }
+
+// State is the mutable cluster condition routing runs against: which
+// shards are down. The zero value (or NewState) is the all-up cluster.
+type State struct {
+	Down []bool
+}
+
+// NewState returns an all-up state for `shards` shards.
+func NewState(shards int) State { return State{Down: make([]bool, shards)} }
+
+// Clone deep-copies the state (the live backend hands copies across
+// goroutines).
+func (s State) Clone() State {
+	return State{Down: append([]bool(nil), s.Down...)}
+}
+
+// IsDown reports whether shard id is marked down (ids beyond the slice
+// are up — the zero State is all-up).
+func (s State) IsDown(id int) bool { return id >= 0 && id < len(s.Down) && s.Down[id] }
+
+// SetDown marks shard id down (true) or up (false), growing the slice
+// as needed. It reports whether the id was in range for `shards`-sized
+// clusters, i.e. non-negative.
+func (s *State) SetDown(id int, down bool) bool {
+	if id < 0 {
+		return false
+	}
+	for len(s.Down) <= id {
+		s.Down = append(s.Down, false)
+	}
+	s.Down[id] = down
+	return true
+}
+
+// Tile is one routed unit of cluster work: row block × LUT range,
+// assigned to a shard.
+type Tile struct {
+	Block, Range int
+	// Shard is the assigned shard; Home the range's home replica.
+	Shard, Home int
+	// Failover marks a tile that left its preferred replica because that
+	// shard was down or unfit.
+	Failover bool
+}
+
+// RoutePlan is one deterministic routing decision: the health of every
+// shard under (base plan, state), every cluster tile's assignment, and
+// the failover accounting.
+type RoutePlan struct {
+	Health []Health
+	Tiles  []Tile
+	// PerShard lists, per shard, the indices into Tiles it serves.
+	PerShard [][]int
+	// Failovers counts tiles moved off a down/unfit preferred replica;
+	// ReplicaHits counts tiles served by a non-home replica (load
+	// spreading plus failover).
+	Failovers, ReplicaHits int
+	// LiveShards counts shards whose health Serves().
+	LiveShards int
+}
+
+// classify derives every shard's health under the base plan and state.
+// A non-zero plan is specialized per shard (PlanFor) and checked
+// against the tile mapping: plans that kill too many of the shard's PEs
+// make it Unfit.
+func (c *Cluster) classify(base pim.FaultPlan, st State) ([]Health, error) {
+	health := make([]Health, c.Cfg.Shards)
+	for s := range health {
+		switch {
+		case st.IsDown(s):
+			health[s] = Down
+		case base.IsZero():
+			health[s] = Healthy
+		default:
+			_, err := pim.SimTimingWithFaults(c.Plat, c.Tile, c.M, PlanFor(base, s))
+			switch {
+			case errors.Is(err, pim.ErrIrrecoverable):
+				health[s] = Unfit
+			case err != nil:
+				return nil, fmt.Errorf("shard: classifying shard %d: %w", s, err)
+			default:
+				health[s] = Degraded
+			}
+		}
+	}
+	return health, nil
+}
+
+// Route assigns every cluster tile to a live replica of its range.
+// Healthy operation spreads a range's row blocks round-robin across its
+// replica set (replication buys parallelism); blocks whose preferred
+// replica is down or unfit fail over round-robin onto the surviving
+// replicas. When a range has no live replica, Route returns an error
+// matching ErrAllReplicasLost (and pim.ErrIrrecoverable).
+func (c *Cluster) Route(base pim.FaultPlan, st State) (*RoutePlan, error) {
+	health, err := c.classify(base, st)
+	if err != nil {
+		return nil, err
+	}
+	rp := &RoutePlan{
+		Health:   health,
+		PerShard: make([][]int, c.Cfg.Shards),
+	}
+	for _, h := range health {
+		if h.Serves() {
+			rp.LiveShards++
+		}
+	}
+	for ri, rg := range c.P.Ranges {
+		var live []int
+		for _, s := range rg.Replicas {
+			if health[s].Serves() {
+				live = append(live, s)
+			}
+		}
+		if len(live) == 0 {
+			recordIrrecoverable()
+			return nil, fmt.Errorf("%w (range %d [%d,%d), replicas %v)", ErrAllReplicasLost, ri, rg.Lo, rg.Hi, rg.Replicas)
+		}
+		for b := 0; b < c.blocks; b++ {
+			preferred := rg.Replicas[b%len(rg.Replicas)]
+			t := Tile{Block: b, Range: ri, Home: rg.Replicas[0], Shard: preferred}
+			if !health[preferred].Serves() {
+				t.Shard = live[b%len(live)]
+				t.Failover = true
+				rp.Failovers++
+			}
+			if t.Shard != t.Home {
+				rp.ReplicaHits++
+			}
+			rp.PerShard[t.Shard] = append(rp.PerShard[t.Shard], len(rp.Tiles))
+			rp.Tiles = append(rp.Tiles, t)
+		}
+	}
+	recordRoute(rp)
+	return rp, nil
+}

@@ -1,0 +1,35 @@
+package shard
+
+import "repro/internal/pim"
+
+// Per-shard fault seeds. Every shard draws its dead-PE set, straggler
+// factors and per-PE transfer outcomes from its own seeded stream, but
+// all of them must derive from the single base `-fault-seed` so one
+// number reproduces a whole-cluster storm — and the derivation must not
+// depend on the shard count, so the same (seed, shard) pair misbehaves
+// identically whether the cluster has 2 shards or 64.
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix, so
+// nearby (seed, shard) pairs land on statistically unrelated streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Seed derives shard `shard`'s fault seed from the base plan seed.
+func Seed(base int64, shard int) int64 {
+	return int64(splitmix64(splitmix64(uint64(base)) + uint64(shard)))
+}
+
+// PlanFor specializes the base fault plan to one shard: same fault
+// rates, shard-specific seed. A zero base plan stays zero (no faults to
+// specialize).
+func PlanFor(base pim.FaultPlan, shard int) pim.FaultPlan {
+	if base.IsZero() {
+		return base
+	}
+	base.Seed = Seed(base.Seed, shard)
+	return base
+}

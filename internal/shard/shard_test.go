@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/lutnn"
+	"repro/internal/pim"
+	"repro/internal/tensor"
+)
+
+// testOperator builds a real LUT-NN operator (codebooks from seeded
+// activations, table from a seeded weight) the cluster tests execute.
+func testOperator(seed int64, n, h, f, v, ct int) (pim.Workload, []uint8, *lutnn.LUT) {
+	rng := rand.New(rand.NewSource(seed))
+	acts := tensor.RandN(rng, 1, n, h)
+	cbs, err := lutnn.BuildCodebooks(acts, lutnn.Params{V: v, CT: ct}, seed)
+	if err != nil {
+		panic(err)
+	}
+	wt := tensor.RandN(rng, 1, f, h)
+	tbl, err := lutnn.BuildLUT(cbs, wt)
+	if err != nil {
+		panic(err)
+	}
+	return pim.Workload{N: n, CB: h / v, CT: ct, F: f, ElemBytes: 4}, cbs.Search(acts), tbl
+}
+
+func imin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// tileMapping returns a legal mapping for the cluster-tile workload.
+func tileMapping(tile pim.Workload) pim.Mapping {
+	ns, fs := imin(tile.N, 8), imin(tile.F, 8)
+	return pim.Mapping{
+		NsTile: ns, FsTile: fs,
+		NmTile: ns, FmTile: fs, CBmTile: imin(tile.CB, 4),
+		Traversal: [3]pim.Loop{pim.LoopN, pim.LoopF, pim.LoopCB},
+		Scheme:    pim.CoarseLoad, CBLoadTile: 1, FLoadTile: fs,
+	}
+}
+
+// newTestCluster builds the standard 4-shard test cluster: 64 rows,
+// CB=8, F=32 → 8-feature ranges, 2 replicas, 2 row blocks.
+func newTestCluster(t *testing.T, cfg Config, heat []float64) (*Cluster, []uint8, *lutnn.LUT) {
+	t.Helper()
+	w, idx, tbl := testOperator(1, 64, 16, 32, 2, 8)
+	blocks := cfg.RowBlocks
+	if blocks == 0 {
+		blocks = cfg.Replicas
+		if cfg.HotReplicas > blocks {
+			blocks = cfg.HotReplicas
+		}
+	}
+	tile := pim.Workload{N: w.N / blocks, CB: w.CB, CT: w.CT, F: w.F / cfg.Shards, ElemBytes: w.ElemBytes}
+	c, err := New(pim.UPMEM(), w, tileMapping(tile), cfg, heat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, idx, tbl
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error, "" = valid
+	}{
+		{"valid", Config{Shards: 4, Replicas: 2}, ""},
+		{"zero shards", Config{Shards: 0, Replicas: 1}, "Shards"},
+		{"zero replicas", Config{Shards: 2, Replicas: 0}, "Replicas"},
+		{"replicas exceed shards", Config{Shards: 2, Replicas: 3}, "exceeds"},
+		{"hot below base", Config{Shards: 4, Replicas: 2, HotReplicas: 1}, "HotReplicas"},
+		{"hot above shards", Config{Shards: 4, Replicas: 2, HotReplicas: 5}, "HotReplicas"},
+		{"hot fraction range", Config{Shards: 4, Replicas: 2, HotFraction: 1.5}, "HotFraction"},
+		{"negative rowblocks", Config{Shards: 4, Replicas: 2, RowBlocks: -1}, "RowBlocks"},
+		{"bad link", Config{Shards: 4, Replicas: 2, Link: Interconnect{Latency: -1, BW: 1}}, "latency"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.withDefaults().Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	heat := []float64{1, 5, 2, 3} // range 1 hottest
+	c, _, _ := newTestCluster(t, Config{Shards: 4, Replicas: 2, HotReplicas: 4, HotFraction: 0.25}, heat)
+	if got := len(c.P.Ranges); got != 4 {
+		t.Fatalf("got %d ranges, want 4", got)
+	}
+	for r, rg := range c.P.Ranges {
+		if rg.Lo != r*8 || rg.Hi != (r+1)*8 {
+			t.Errorf("range %d spans [%d,%d), want [%d,%d)", r, rg.Lo, rg.Hi, r*8, (r+1)*8)
+		}
+		if rg.Replicas[0] != r {
+			t.Errorf("range %d home %d, want %d", r, rg.Replicas[0], r)
+		}
+		wantRep := 2
+		if r == 1 {
+			wantRep = 4
+			if !rg.Hot {
+				t.Errorf("range 1 (hottest) not marked hot")
+			}
+		} else if rg.Hot {
+			t.Errorf("range %d marked hot, heat says only range 1", r)
+		}
+		if len(rg.Replicas) != wantRep {
+			t.Errorf("range %d has %d replicas, want %d", r, len(rg.Replicas), wantRep)
+		}
+		for k, s := range rg.Replicas {
+			if s != (r+k)%4 {
+				t.Errorf("range %d replica %d on shard %d, want %d", r, k, s, (r+k)%4)
+			}
+		}
+	}
+	if got := c.RowBlocks(); got != 4 {
+		t.Fatalf("RowBlocks = %d, want MaxReplicas = 4", got)
+	}
+}
+
+// TestSeedDerivation is the satellite table test: per-shard seeds derive
+// from the base seed alone, so a storm replays identically regardless of
+// cluster size, and distinct shards land on distinct streams.
+func TestSeedDerivation(t *testing.T) {
+	bases := []int64{0, 1, 42, -7, 1 << 40}
+	for _, base := range bases {
+		seen := map[int64]int{}
+		for shard := 0; shard < 64; shard++ {
+			s := Seed(base, shard)
+			if s == base {
+				t.Errorf("Seed(%d, %d) returned the base seed unmixed", base, shard)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Errorf("Seed(%d, %d) collides with shard %d", base, shard, prev)
+			}
+			seen[s] = shard
+			if again := Seed(base, shard); again != s {
+				t.Errorf("Seed(%d, %d) not deterministic: %d vs %d", base, shard, s, again)
+			}
+		}
+	}
+	// Shard-count independence: the same (base, shard) pair must yield
+	// the same plan whether the cluster has 2 shards or 64 — PlanFor
+	// never sees the cluster size.
+	base := pim.FaultPlan{Seed: 99, DeadPEFraction: 0.25, FlipRate: 0.01}
+	for shard := 0; shard < 2; shard++ {
+		small := PlanFor(base, shard) // as a 2-shard cluster would derive
+		large := PlanFor(base, shard) // as a 64-shard cluster would derive
+		if small != large {
+			t.Errorf("shard %d: plan differs by cluster size: %+v vs %+v", shard, small, large)
+		}
+		if small.DeadPEFraction != base.DeadPEFraction || small.FlipRate != base.FlipRate {
+			t.Errorf("shard %d: PlanFor changed fault rates: %+v", shard, small)
+		}
+	}
+	if zp := PlanFor(pim.FaultPlan{Seed: 5}, 3); !zp.IsZero() || zp.Seed != 5 {
+		t.Errorf("zero plan specialized: %+v", zp)
+	}
+}
+
+func TestCapacityCheck(t *testing.T) {
+	c, _, _ := newTestCluster(t, Config{Shards: 4, Replicas: 2}, nil)
+	if err := c.checkCapacity(); err != nil {
+		t.Fatalf("healthy cluster over capacity: %v", err)
+	}
+	// Shrink the banks until the hosted sub-LUT replicas no longer fit:
+	// the capacity side of the replication trade must say so.
+	tiny := *c.Plat
+	tiny.MRAMBytes = 1
+	cc := *c
+	cc.Plat = &tiny
+	if err := cc.checkCapacity(); err == nil || !strings.Contains(err.Error(), "over capacity") {
+		t.Fatalf("expected over-capacity error, got %v", err)
+	}
+}
+
+func TestPerShardPlatform(t *testing.T) {
+	p := pim.UPMEM()
+	sp, err := PerShardPlatform(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumPE != p.NumPE/8 || sp.BroadcastBW != p.BroadcastBW/8 ||
+		sp.GatherBW != p.GatherBW/8 || sp.PowerWatts != p.PowerWatts/8 {
+		t.Errorf("per-shard split wrong: %+v", sp)
+	}
+	if sp.FreqHz != p.FreqHz || sp.MRAMBytes != p.MRAMBytes {
+		t.Errorf("per-PE quantities changed: %+v", sp)
+	}
+	one, err := PerShardPlatform(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *one != *p {
+		t.Errorf("shards=1 not an identical copy")
+	}
+	if _, err := PerShardPlatform(p, 7); err == nil {
+		t.Error("expected error for non-divisible shard count")
+	}
+}

@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/pim"
+)
+
+// TestConcurrentMatchesSerialOracle pins the acceptance criterion:
+// Estimate (worker-pool fan-out) is bit-exact with EstimateSerial across
+// healthy, faulty and partially-down clusters.
+func TestConcurrentMatchesSerialOracle(t *testing.T) {
+	c, _, _ := newTestCluster(t, Config{Shards: 4, Replicas: 2}, nil)
+	down1 := NewState(4)
+	down1.SetDown(2, true)
+	scenarios := []struct {
+		name string
+		plan pim.FaultPlan
+		st   State
+	}{
+		{"healthy", pim.FaultPlan{}, NewState(4)},
+		{"faults", pim.FaultPlan{Seed: 3, DeadPEFraction: 0.25, FlipRate: 0.02, StragglerSpread: 0.3}, NewState(4)},
+		{"shard down", pim.FaultPlan{}, down1},
+		{"faults and down", pim.FaultPlan{Seed: 8, DeadPEFraction: 0.25, FlipRate: 0.02}, down1},
+	}
+	for _, sc := range scenarios {
+		conc, err := c.Estimate(sc.plan, sc.st)
+		if err != nil {
+			t.Fatalf("%s: Estimate: %v", sc.name, err)
+		}
+		serial, err := c.EstimateSerial(sc.plan, sc.st)
+		if err != nil {
+			t.Fatalf("%s: EstimateSerial: %v", sc.name, err)
+		}
+		if !reflect.DeepEqual(conc, serial) {
+			t.Errorf("%s: concurrent timing diverges from serial oracle:\n%+v\nvs\n%+v", sc.name, conc, serial)
+		}
+		// And a second concurrent run is identical (scheduling-free).
+		again, err := c.Estimate(sc.plan, sc.st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(conc, again) {
+			t.Errorf("%s: Estimate not deterministic across runs", sc.name)
+		}
+	}
+}
+
+// TestSingleShardGoldenTiming pins the other acceptance criterion: a
+// single-shard cluster's timing is exactly the unsharded pim model — no
+// interconnect terms, Makespan identical to SimTiming.
+func TestSingleShardGoldenTiming(t *testing.T) {
+	w, _, _ := testOperator(1, 64, 16, 32, 2, 8)
+	p := pim.UPMEM()
+	m := tileMapping(w)
+	c, err := New(p, w, m, Config{Shards: 1, Replicas: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tile != w {
+		t.Fatalf("single-shard tile %+v != workload %+v", c.Tile, w)
+	}
+	ct, err := c.Estimate(pim.FaultPlan{}, NewState(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Broadcast != 0 || ct.Gather != 0 {
+		t.Errorf("single shard pays interconnect: broadcast %g gather %g", ct.Broadcast, ct.Gather)
+	}
+	if want := pim.SimTiming(p, w, m).Total(); ct.Makespan != want {
+		t.Errorf("single-shard Makespan %g != pim SimTiming %g", ct.Makespan, want)
+	}
+	if ct.Capacity.Fraction != 1 || ct.Capacity.LiveShards != 1 || ct.Capacity.DegradedRanges != 0 {
+		t.Errorf("healthy capacity report wrong: %+v", ct.Capacity)
+	}
+}
+
+// TestMultiShardTimingShape sanity-checks the cluster decomposition:
+// interconnect is nonzero, every serving shard gets work, and the
+// makespan brackets the busiest shard.
+func TestMultiShardTimingShape(t *testing.T) {
+	c, _, _ := newTestCluster(t, Config{Shards: 4, Replicas: 2}, nil)
+	ct, err := c.Estimate(pim.FaultPlan{}, NewState(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Broadcast <= 0 || ct.Gather <= 0 {
+		t.Errorf("multi-shard cluster pays no interconnect: %+v", ct)
+	}
+	var maxBusy float64
+	for _, stg := range ct.PerShard {
+		if stg.Tiles == 0 {
+			t.Errorf("shard %d idle in a healthy replicated cluster", stg.Shard)
+		}
+		if stg.Busy > maxBusy {
+			maxBusy = stg.Busy
+		}
+	}
+	if want := ct.Broadcast + maxBusy + ct.Gather; ct.Makespan != want {
+		t.Errorf("Makespan %g != broadcast+max busy+gather %g", ct.Makespan, want)
+	}
+	if ct.SteadyMakespan >= ct.Makespan {
+		t.Errorf("steady makespan %g not below cold makespan %g", ct.SteadyMakespan, ct.Makespan)
+	}
+	// Replication spreads row blocks: with 2 replicas and 2 row blocks,
+	// every range's second block lands off-home.
+	if ct.ReplicaHits == 0 {
+		t.Error("no replica hits in a replicated healthy cluster")
+	}
+	if ct.Failovers != 0 {
+		t.Errorf("healthy cluster reported %d failovers", ct.Failovers)
+	}
+}
+
+// TestFailoverRouting kills one shard and checks its tiles land on live
+// replicas, with the capacity report degrading accordingly.
+func TestFailoverRouting(t *testing.T) {
+	c, _, _ := newTestCluster(t, Config{Shards: 4, Replicas: 2}, nil)
+	st := NewState(4)
+	st.SetDown(1, true)
+	ct, err := c.Estimate(pim.FaultPlan{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Failovers == 0 {
+		t.Fatal("no failovers with a dead shard")
+	}
+	if got := ct.PerShard[1].Tiles; got != 0 {
+		t.Errorf("dead shard 1 still serves %d tiles", got)
+	}
+	if ct.LiveShards != 3 {
+		t.Errorf("LiveShards = %d, want 3", ct.LiveShards)
+	}
+	cap := ct.Capacity
+	if cap.Fraction != 0.75 {
+		t.Errorf("capacity fraction %g, want 0.75", cap.Fraction)
+	}
+	// Ranges 0 and 1 each have a replica on shard 1 → both degraded,
+	// each down to one live replica.
+	if cap.DegradedRanges != 2 || cap.MinLiveReplicas != 1 {
+		t.Errorf("capacity report %+v, want 2 degraded ranges at 1 live replica", cap)
+	}
+	// All of shard 1's former tiles must sit on its ranges' other
+	// replicas, never on a down shard.
+	rp, err := c.Route(pim.FaultPlan{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range rp.Tiles {
+		if tile.Shard == 1 {
+			t.Errorf("tile %+v routed to the dead shard", tile)
+		}
+		found := false
+		for _, s := range c.P.Ranges[tile.Range].Replicas {
+			if s == tile.Shard {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("tile %+v routed off its replica set", tile)
+		}
+	}
+}
+
+// TestAllReplicasLost kills every replica of range 0 and checks the
+// cluster reports irrecoverability through the pim error the engine and
+// breaker paths already match on.
+func TestAllReplicasLost(t *testing.T) {
+	c, _, _ := newTestCluster(t, Config{Shards: 4, Replicas: 2}, nil)
+	st := NewState(4)
+	st.SetDown(0, true) // range 0's replicas are shards {0, 1}
+	st.SetDown(1, true)
+	_, err := c.Estimate(pim.FaultPlan{}, st)
+	if err == nil {
+		t.Fatal("expected all-replicas-lost error")
+	}
+	if !errors.Is(err, ErrAllReplicasLost) {
+		t.Errorf("error %v does not match ErrAllReplicasLost", err)
+	}
+	if !errors.Is(err, pim.ErrIrrecoverable) {
+		t.Errorf("error %v does not match pim.ErrIrrecoverable (engine fallback would not fire)", err)
+	}
+}
+
+// TestUnfitShardFailsOver drives one shard Unfit via its derived fault
+// plan on a PE-starved platform and checks routing treats it like a dead
+// shard.
+func TestUnfitShardFailsOver(t *testing.T) {
+	w, _, _ := testOperator(1, 64, 16, 32, 2, 8)
+	tile := pim.Workload{N: 32, CB: w.CB, CT: w.CT, F: 8, ElemBytes: 4}
+	m := tileMapping(tile)
+	starved := *pim.UPMEM()
+	starved.NumPE = m.PEs(tile) // exactly enough PEs: any dead PE → unfit
+	c, err := New(&starved, w, m, Config{Shards: 4, Replicas: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := pim.FaultPlan{Seed: 11, DeadPEFraction: 0.5}
+	health, err := c.classify(plan, NewState(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, h := range health {
+		if h != Unfit {
+			t.Errorf("PE-starved shard %d at 50%% dead classified %v, want unfit", s, h)
+		}
+	}
+	// Every shard unfit → every range has lost all replicas.
+	if _, err := c.Route(plan, NewState(4)); !errors.Is(err, ErrAllReplicasLost) {
+		t.Errorf("routing an all-unfit cluster returned %v, want ErrAllReplicasLost", err)
+	}
+}

@@ -39,11 +39,37 @@ func ExportLive(w io.Writer, rec *live.Recorder) error {
 			Args: map[string]any{"name": "Chaos / breaker"}},
 	)
 
-	for i, b := range rec.Batches() {
+	// Shard-cluster runs add a "live shards" counter track stepping
+	// through each batch's surviving shard count — shard kills and
+	// revives show up as a staircase next to the chaos instants. Flat
+	// (single-array) runs never set LiveShards, so their traces are
+	// unchanged.
+	batches := rec.Batches()
+	shardData := false
+	for _, b := range batches {
+		if b.LiveShards > 0 {
+			shardData = true
+			break
+		}
+	}
+
+	for i, b := range batches {
 		name := fmt.Sprintf("batch %d (n=%d)", i, b.Size)
 		backend := ""
 		if len(b.Backends) > 0 {
 			backend = b.Backends[len(b.Backends)-1]
+		}
+		args := map[string]string{
+			"size":       fmt.Sprint(b.Size),
+			"rows":       fmt.Sprint(b.Rows),
+			"attempts":   fmt.Sprint(b.Attempts),
+			"backend":    backend,
+			"dmaRetries": fmt.Sprint(b.DMARetries),
+			"failed":     fmt.Sprint(b.Failed),
+		}
+		if shardData {
+			args["failovers"] = fmt.Sprint(b.Failovers)
+			args["liveShards"] = fmt.Sprint(b.LiveShards)
 		}
 		events = append(events, event{
 			Name: name,
@@ -53,14 +79,7 @@ func ExportLive(w io.Writer, rec *live.Recorder) error {
 			Dur:  (b.Done - b.Start) * 1e6,
 			PID:  1,
 			TID:  liveBatchTID,
-			Args: map[string]string{
-				"size":       fmt.Sprint(b.Size),
-				"rows":       fmt.Sprint(b.Rows),
-				"attempts":   fmt.Sprint(b.Attempts),
-				"backend":    backend,
-				"dmaRetries": fmt.Sprint(b.DMARetries),
-				"failed":     fmt.Sprint(b.Failed),
-			},
+			Args: args,
 		})
 		if b.Attempts > 1 {
 			events = append(events, instant{
@@ -73,6 +92,12 @@ func ExportLive(w io.Writer, rec *live.Recorder) error {
 			Name: "batch size", Cat: "serving", Ph: "C", TS: b.Start * 1e6, PID: 1,
 			Args: map[string]float64{"requests": float64(b.Size)},
 		})
+		if shardData {
+			events = append(events, counterEvent{
+				Name: "live shards", Cat: "shard", Ph: "C", TS: b.Start * 1e6, PID: 1,
+				Args: map[string]float64{"shards": float64(b.LiveShards)},
+			})
+		}
 	}
 
 	for _, r := range rec.Records() {

@@ -76,6 +76,46 @@ func TestExportLiveValidJSON(t *testing.T) {
 	}
 }
 
+// TestExportLiveShardCounter: a sharded run (BatchRecords carrying
+// LiveShards) grows a "live shards" counter track and per-batch failover
+// args; the flat-run recorder above never sets LiveShards, so its event
+// counts (pinned by TestExportLiveValidJSON) prove the track stays off.
+func TestExportLiveShardCounter(t *testing.T) {
+	rec := live.NewRecorder()
+	rec.AddBatch(live.BatchRecord{Start: 0.10, Done: 0.15, Size: 2, Rows: 2,
+		Attempts: 1, AttemptDurs: []float64{0.05}, Backends: []string{"pim"},
+		LiveShards: 4})
+	rec.AddBatch(live.BatchRecord{Start: 0.20, Done: 0.30, Size: 2, Rows: 2,
+		Attempts: 1, AttemptDurs: []float64{0.05}, Backends: []string{"pim"},
+		Failovers: 3, LiveShards: 3})
+	var buf bytes.Buffer
+	if err := ExportLive(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var shards []float64
+	var failovers []string
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev["ph"] == "C" && ev["name"] == "live shards":
+			shards = append(shards, ev["args"].(map[string]any)["shards"].(float64))
+		case ev["ph"] == "X":
+			failovers = append(failovers, ev["args"].(map[string]any)["failovers"].(string))
+		}
+	}
+	if len(shards) != 2 || shards[0] != 4 || shards[1] != 3 {
+		t.Fatalf("live-shards counter samples %v, want [4 3]", shards)
+	}
+	if len(failovers) != 2 || failovers[0] != "0" || failovers[1] != "3" {
+		t.Fatalf("failover args %v, want [0 3]", failovers)
+	}
+}
+
 func TestExportLiveDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
 	if err := ExportLive(&a, liveTestRecorder()); err != nil {
