@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-faults chaos-smoke shard-smoke bench bench-smoke bench-json metrics-smoke bench-overhead vet fmt lint lint-baseline experiments examples clean
+.PHONY: all build test test-short test-race test-faults chaos-smoke shard-smoke decode-smoke bench bench-smoke bench-json metrics-smoke bench-overhead vet fmt lint lint-baseline experiments examples clean
 
 all: build vet lint test
 
@@ -102,6 +102,33 @@ shard-smoke:
 		-require pimdl_shard_min_live_replicas \
 		shard-snapshot.json
 
+# decode-smoke exercises the KV-cached decode fastpath end to end:
+# first the bit-exactness oracles under the race detector (cached ==
+# uncached Generate token for token, single-row CCS/gather == the
+# batch kernels, DecodeBatch == solo sessions, the live DecodeServer ==
+# nn.Generate under concurrency), then one pimdl-bench decode run that
+# must clear a 3x cached-over-naive tokens/sec floor and carry the
+# pimdl_decode_* series, then -compare -decode-only against the
+# committed baseline: the within-report speedup ratios (machine-
+# independent, unlike raw ns/token) must not shrink beyond the usual
+# 10% gate. CI uploads decode-report.json as an artifact. See
+# DESIGN.md §14.
+decode-smoke:
+	$(GO) test -race ./internal/nn/ ./internal/lutnn/ ./internal/serving/live/ \
+		-run 'GenerateCached|DecodeLogits|DecodeBatch|DecodeSession|PickToken|DecodeServer|SearchRow|DecodeLookupRow|ForwardRow' \
+		-v -timeout 600s
+	$(GO) run ./cmd/pimdl-bench -exp none -json -decode \
+		-decode-min-speedup 3 -o decode-report.json \
+		-metrics decode-metrics.json
+	$(GO) run ./cmd/pimdl-metrics-check \
+		-require pimdl_decode_steps_total \
+		-require pimdl_decode_prefill_rows_total \
+		-require pimdl_decode_batch_steps_total \
+		-require pimdl_decode_batch_rows \
+		decode-metrics.json
+	$(GO) run ./cmd/pimdl-bench -compare -decode-only \
+		BENCH_2026-08-08.json decode-report.json
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX .
 
@@ -157,4 +184,5 @@ examples:
 clean:
 	rm -f test_output.txt bench_output.txt \
 		metrics-snapshot.json chaos-snapshot.json shard-snapshot.json \
-		bench-nometrics.json bench-metrics.json
+		bench-nometrics.json bench-metrics.json \
+		decode-report.json decode-metrics.json

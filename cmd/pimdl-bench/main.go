@@ -9,6 +9,13 @@
 //	pimdl-bench -exp fig11 -json            # also write BENCH_<date>.json
 //	pimdl-bench -compare old.json new.json  # diff two reports; exit 1 on
 //	                                        # any metric >10% slower
+//	pimdl-bench -exp none -json -decode -decode-min-speedup 3
+//	                                        # decode throughput (naive vs
+//	                                        # KV-cached vs batched); fail
+//	                                        # below 3x cached speedup
+//	pimdl-bench -compare -decode-only old.json new.json
+//	                                        # gate only decode speedups
+//	                                        # (machine-independent ratios)
 //
 // Experiment ids match the paper: fig3 fig4 table4 table5 fig10 fig11
 // fig12 fig13 fig14 fig15.
@@ -44,6 +51,12 @@ func main() {
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
 	overheadBaseline := flag.String("overhead-baseline", "",
 		"with -json: time each kernel with metrics recording disabled and enabled, the calls interleaved in this one process so machine drift cancels; the disabled-mode report is written here and the enabled-mode report to -o (feeds the metrics-overhead CI guard)")
+	decode := flag.Bool("decode", false,
+		"with -json: measure autoregressive decode throughput (naive Generate, KV-cached, batched) into the report's decode set")
+	decodeMinSpeedup := flag.Float64("decode-min-speedup", 0,
+		"with -decode: fail unless the KV-cached path's tokens/sec speedup over naive Generate reaches this factor (0 disables)")
+	decodeOnly := flag.Bool("decode-only", false,
+		"with -compare: gate only the decode speedups (machine-independent ratios), ignoring kernel and experiment wall times")
 	flag.Parse()
 
 	if *tolerance <= 0 {
@@ -51,7 +64,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *compare {
-		os.Exit(runCompare(flag.Args(), *tolerance))
+		os.Exit(runCompare(flag.Args(), *tolerance, *decodeOnly))
 	}
 	if *metricsPath != "" {
 		if err := metrics.ValidateOutputPath(*metricsPath); err != nil {
@@ -147,6 +160,25 @@ func main() {
 			os.Exit(1)
 		}
 		report.Kernels = kernels
+		if *decode {
+			fmt.Println("\n=== decode ===")
+			dec, err := bench.Decode(*quick)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pimdl-bench: decode: %v\n", err)
+				os.Exit(1)
+			}
+			report.Decode = dec
+			for _, d := range dec {
+				fmt.Printf("%-20s %12.0f ns/token %10.1f tok/s %8.2fx\n",
+					d.Name, d.NsPerToken, d.TokensPerSec, d.Speedup)
+			}
+			if *decodeMinSpeedup > 0 {
+				if err := checkDecodeSpeedup(dec, *decodeMinSpeedup); err != nil {
+					fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
 		report.Metrics = metrics.Default().Flatten()
 		for _, k := range kernels {
 			if k.MBPerSec > 0 {
@@ -194,8 +226,22 @@ func writeReport(r *bench.Report, path string) error {
 	return f.Close()
 }
 
+// checkDecodeSpeedup enforces the -decode-min-speedup floor on the
+// KV-cached batch-1 path.
+func checkDecodeSpeedup(dec []bench.DecodeResult, min float64) error {
+	for _, d := range dec {
+		if d.Name == "decode_cached" {
+			if d.Speedup < min {
+				return fmt.Errorf("decode_cached speedup %.2fx below required %.2fx", d.Speedup, min)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("decode_cached missing from decode results")
+}
+
 // runCompare diffs two -json reports; returns the process exit code.
-func runCompare(paths []string, tolerance float64) int {
+func runCompare(paths []string, tolerance float64, decodeOnly bool) int {
 	if len(paths) != 2 {
 		fmt.Fprintln(os.Stderr, "pimdl-bench: -compare wants exactly two report files: old.json new.json")
 		return 2
@@ -210,8 +256,17 @@ func runCompare(paths []string, tolerance float64) int {
 		fmt.Fprintf(os.Stderr, "pimdl-bench: %v\n", err)
 		return 2
 	}
-	fmt.Print(bench.FormatComparison(base, cur, tolerance))
-	regs := bench.Compare(base, cur, tolerance)
+	var regs []bench.Regression
+	if decodeOnly {
+		// Decode-only mode gates the within-report speedup ratios, which
+		// survive a baseline committed on a different machine; absolute
+		// kernel and experiment times are skipped entirely.
+		fmt.Print(bench.FormatDecodeComparison(base, cur, tolerance))
+		regs = bench.CompareDecode(base, cur, tolerance)
+	} else {
+		fmt.Print(bench.FormatComparison(base, cur, tolerance))
+		regs = bench.Compare(base, cur, tolerance)
+	}
 	if len(regs) == 0 {
 		fmt.Printf("\nno regressions beyond %.0f%%\n", tolerance*100)
 		return 0

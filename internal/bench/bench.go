@@ -56,6 +56,12 @@ type Report struct {
 	// reports so regressions in simulated work (bytes moved, tiles
 	// executed, retries) surface next to wall-time regressions.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Decode is the autoregressive-generation throughput set written by
+	// `pimdl-bench -decode` (schema addition, field 8). -compare gates on
+	// each entry's Speedup — a within-report ratio against decode_naive —
+	// rather than ns_per_token, so a committed baseline from one machine
+	// still gates CI runs on another.
+	Decode []DecodeResult `json:"decode,omitempty"`
 }
 
 // WriteJSON writes the report, indented, to w.

@@ -62,6 +62,34 @@ func Compare(base, cur *Report, tolerance float64) []Regression {
 			})
 		}
 	}
+	return append(regs, CompareDecode(base, cur, tolerance)...)
+}
+
+// CompareDecode gates the decode set on Speedup: an entry whose speedup
+// over decode_naive fell more than tolerance below the baseline's is a
+// regression. Speedup is a within-report ratio, so this comparison is
+// meaningful across machines where raw ns_per_token is not; absolute
+// decode times are deliberately not gated.
+func CompareDecode(base, cur *Report, tolerance float64) []Regression {
+	var regs []Regression
+	oldDec := make(map[string]DecodeResult, len(base.Decode))
+	for _, d := range base.Decode {
+		oldDec[d.Name] = d
+	}
+	for _, d := range cur.Decode {
+		o, ok := oldDec[d.Name]
+		if !ok || o.Speedup <= 0 || d.Speedup <= 0 {
+			continue
+		}
+		// Ratio > 1 means slower, matching the other metrics: the speedup
+		// SHRANK by that factor.
+		if ratio := o.Speedup / d.Speedup; ratio > 1+tolerance {
+			regs = append(regs, Regression{
+				Name: d.Name, Metric: "speedup",
+				Old: o.Speedup, New: d.Speedup, Ratio: ratio,
+			})
+		}
+	}
 	return regs
 }
 
@@ -99,7 +127,41 @@ func FormatComparison(base, cur *Report, tolerance float64) string {
 			row("exp/"+e.Name+" (s)", o.WallSeconds, e.WallSeconds)
 		}
 	}
+	b.WriteString(FormatDecodeComparison(base, cur, tolerance))
 	b.WriteString(FormatMetricsDiff(base, cur))
+	return b.String()
+}
+
+// FormatDecodeComparison renders the decode entries the two reports
+// share: tokens/sec informationally (machine-dependent) and speedup
+// flagged with "!" when it fell beyond tolerance.
+func FormatDecodeComparison(base, cur *Report, tolerance float64) string {
+	if len(base.Decode) == 0 || len(cur.Decode) == 0 {
+		return ""
+	}
+	oldDec := make(map[string]DecodeResult, len(base.Decode))
+	for _, d := range base.Decode {
+		oldDec[d.Name] = d
+	}
+	var b strings.Builder
+	for _, d := range cur.Decode {
+		o, ok := oldDec[d.Name]
+		if !ok {
+			continue
+		}
+		mark := " "
+		if o.Speedup > 0 && d.Speedup > 0 && o.Speedup/d.Speedup > 1+tolerance {
+			mark = "!"
+		}
+		delta := 0.0
+		if o.Speedup > 0 {
+			delta = (d.Speedup/o.Speedup - 1) * 100
+		}
+		fmt.Fprintf(&b, "%-28s %14.4g %14.4g           (tok/s, not gated)\n",
+			"decode/"+d.Name+" (tok/s)", o.TokensPerSec, d.TokensPerSec)
+		fmt.Fprintf(&b, "%-28s %14.4g %14.4g %+8.1f%%%s\n",
+			"decode/"+d.Name+" (speedup)", o.Speedup, d.Speedup, delta, mark)
+	}
 	return b.String()
 }
 

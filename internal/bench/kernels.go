@@ -54,6 +54,16 @@ func kernelSpecs(quick bool) ([]kernelSpec, error) {
 	// One output matrix plus one index matrix streamed per lookup call.
 	lookupBytes := int64(n*kernelF*4 + len(idx))
 
+	// Decode-shape row kernels: the N=1 specializations the KV-cached
+	// generation fastpath dispatches per token (pruned single-row CCS and
+	// the tile-major one-row gather).
+	rs := lutnn.NewRowSearcher(layer.Codebooks)
+	dl := lutnn.NewDecodeLUT(layer.Table)
+	rowIdx := make([]uint8, layer.Codebooks.CB)
+	rowOut := make([]float32, kernelF)
+	row := acts.Row(0)
+	rs.SearchRowInto(rowIdx, row)
+
 	return []kernelSpec{
 		{"ccs", actBytes, func() {
 			layer.Codebooks.SearchInto(idx, acts)
@@ -66,6 +76,12 @@ func kernelSpecs(quick bool) ([]kernelSpec, error) {
 		}},
 		{"forward_fused_fp32", actBytes, func() {
 			layer.ForwardInto(out, acts)
+		}},
+		{"ccs_row", int64(kernelH * 4), func() {
+			rs.SearchRowInto(rowIdx, row)
+		}},
+		{"lut_gather_row", int64(kernelF*4 + len(rowIdx)), func() {
+			dl.LookupRowInto(rowOut, rowIdx)
 		}},
 	}, nil
 }

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/lutnn"
+	"repro/internal/mapping"
+	"repro/internal/nn"
+	"repro/internal/pim"
+)
+
+func TestTokensPerSecondGuard(t *testing.T) {
+	// Unestimated or degenerate reports must not produce ±Inf throughput.
+	if got := (DecodeReport{}).TokensPerSecond(); got != 0 {
+		t.Fatalf("zero step time → %g tokens/s, want 0", got)
+	}
+	if got := (DecodeReport{PerTokenTime: -1}).TokensPerSecond(); got != 0 {
+		t.Fatalf("negative step time → %g tokens/s, want 0", got)
+	}
+	// Batch multiplies throughput; Batch 0 means 1.
+	d := DecodeReport{PerTokenTime: 0.5}
+	if got := d.TokensPerSecond(); got != 2 {
+		t.Fatalf("unbatched throughput %g, want 2", got)
+	}
+	d.Batch = 8
+	if got := d.TokensPerSecond(); got != 16 {
+		t.Fatalf("batched throughput %g, want 16", got)
+	}
+}
+
+func decodeLUTCfg(batch int) Config {
+	m := nn.BERTBase
+	m.Layers = 2 // keep tuning cheap in unit tests
+	return Config{
+		Model:        m,
+		Batch:        batch,
+		Params:       lutnn.Params{V: 4, CT: 16},
+		Platform:     pim.UPMEM(),
+		Host:         baseline.UPMEMHost(),
+		HostPrec:     baseline.INT8,
+		LUTElemBytes: 1,
+		Space:        mapping.SpaceConfig{MaxDivisors: 8},
+	}
+}
+
+func TestEstimateDecodeLUT(t *testing.T) {
+	e := New()
+	rep, err := e.EstimateDecodeLUT(decodeLUTCfg(1), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerTokenTime <= 0 || rep.TokensPerSecond() <= 0 {
+		t.Fatalf("degenerate decode estimate: %+v", rep)
+	}
+	if rep.Batch != 1 {
+		t.Fatalf("batch %d, want 1", rep.Batch)
+	}
+
+	// Longer context costs more (KV streaming term).
+	long, err := e.EstimateDecodeLUT(decodeLUTCfg(1), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.PerTokenTime <= rep.PerTokenTime {
+		t.Fatalf("context 1024 (%g) not slower than 128 (%g)",
+			long.PerTokenTime, rep.PerTokenTime)
+	}
+
+	// Continuous batching amortizes the per-step fixed costs: 8 sequences
+	// per step must deliver more tokens/s than 1, and Batch=0 must behave
+	// exactly like Batch=1.
+	b8, err := e.EstimateDecodeLUT(decodeLUTCfg(8), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b8.TokensPerSecond() <= rep.TokensPerSecond() {
+		t.Fatalf("batched decode (%g tok/s) not faster than solo (%g tok/s)",
+			b8.TokensPerSecond(), rep.TokensPerSecond())
+	}
+	b0, err := e.EstimateDecodeLUT(decodeLUTCfg(0), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b0.PerTokenTime != rep.PerTokenTime || b0.Batch != 1 {
+		t.Fatalf("Batch=0 (%+v) differs from Batch=1 (%+v)", b0, rep)
+	}
+
+	// Scales ~linearly with layers, like the other decode estimators.
+	cfg4 := decodeLUTCfg(1)
+	cfg4.Model.Layers = 4
+	l4, err := e.EstimateDecodeLUT(cfg4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := l4.PerTokenTime / rep.PerTokenTime
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("layer scaling 2→4 gave ratio %g, want ≈2", ratio)
+	}
+
+	// Bad V must error, not panic.
+	bad := decodeLUTCfg(1)
+	bad.Params.V = 7
+	if _, err := e.EstimateDecodeLUT(bad, 128); err == nil {
+		t.Fatal("V not dividing H accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package lutnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Golden tests for the decode-specialized single-row kernels (decode.go):
+// like the batch fastpath, every row kernel must reproduce the serial
+// reference bit for bit — Float32bits comparison, so a +0/−0 flip fails.
+
+func sameBitsRow(t *testing.T, name string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: element %d differs bitwise: %x vs %x (%g vs %g)",
+				name, i, math.Float32bits(got[i]), math.Float32bits(want[i]),
+				got[i], want[i])
+		}
+	}
+}
+
+// TestSearchRowMatchesSerialGolden fuzzes single-row CCS with pruning
+// against searchSerial across V specialisations, seeds, and activation
+// scales (large scales stress the pruning bound's float64 guard).
+func TestSearchRowMatchesSerialGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		h, v  int
+		ct    int
+		scale float32
+	}{
+		{"V4", 64, 4, 16, 1},
+		{"V4big", 64, 4, 16, 1e6},
+		{"V4tiny", 64, 4, 16, 1e-6},
+		{"V2", 32, 2, 16, 1},
+		{"V8generic", 64, 8, 12, 1},
+		{"V4ct7", 28, 4, 7, 1}, // CT not a multiple of 4
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			const rows = 200
+			acts := tensor.RandN(rng, 1, rows, c.h)
+			if c.scale != 1 {
+				for i := range acts.Data {
+					acts.Data[i] *= c.scale
+				}
+			}
+			cbs, err := BuildCodebooks(acts, Params{V: c.v, CT: c.ct}, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Scale some centroids up so the pruning bound actually fires.
+			for i := 0; i < cbs.CT; i += 3 {
+				cent := cbs.Centroid(0, i)
+				for j := range cent {
+					cent[j] *= 50
+				}
+			}
+			want := cbs.searchSerial(acts)
+			rs := NewRowSearcher(cbs)
+			got := make([]uint8, cbs.CB)
+			prunedTotal := 0
+			for i := 0; i < rows; i++ {
+				prunedTotal += rs.SearchRowInto(got, acts.Row(i))
+				for cb := 0; cb < cbs.CB; cb++ {
+					if got[cb] != want[i*cbs.CB+cb] {
+						t.Fatalf("row %d cb %d: got index %d, serial reference %d",
+							i, cb, got[cb], want[i*cbs.CB+cb])
+					}
+				}
+			}
+			t.Logf("pruned %d/%d centroid dots", prunedTotal, rows*cbs.CB*cbs.CT)
+		})
+	}
+}
+
+// TestSearchRowPruningFires checks the bound is not vacuous: with a few
+// far-away large-norm centroids, at least some dot products are skipped.
+func TestSearchRowPruningFires(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	acts := tensor.RandN(rng, 1, 64, 32)
+	cbs, err := BuildCodebooks(acts, Params{V: 4, CT: 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cb := 0; cb < cbs.CB; cb++ {
+		for i := 1; i < cbs.CT; i += 2 {
+			cent := cbs.Centroid(cb, i)
+			for j := range cent {
+				cent[j] = cent[j]*100 + 500
+			}
+		}
+	}
+	rs := NewRowSearcher(cbs)
+	idx := make([]uint8, cbs.CB)
+	pruned := 0
+	for i := 0; i < 64; i++ {
+		pruned += rs.SearchRowInto(idx, acts.Row(i))
+	}
+	if pruned == 0 {
+		t.Fatal("pruning bound never fired on far-away large-norm centroids")
+	}
+	// And it must still be bit-exact.
+	want := cbs.searchSerial(acts)
+	for i := 0; i < 64; i++ {
+		rs.SearchRowInto(idx, acts.Row(i))
+		for cb := 0; cb < cbs.CB; cb++ {
+			if idx[cb] != want[i*cbs.CB+cb] {
+				t.Fatalf("row %d cb %d: pruned search diverged from serial", i, cb)
+			}
+		}
+	}
+}
+
+// TestDecodeLookupRowMatchesSerialGolden checks the tile-major one-row
+// gather (FP32 and INT8) against lookupSerial, with F both a multiple of
+// the decode tile and a ragged tail, and CB below the 4-wide unroll.
+func TestDecodeLookupRowMatchesSerialGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		h, v, f int
+	}{
+		{"aligned", 64, 4, 256},
+		{"ragged", 64, 4, 200},  // last tile narrower than decodeFTile
+		{"smallCB", 12, 4, 100}, // CB=3 < 4: clear+addF32 path
+		{"wide", 96, 4, 513},    // odd F tail inside addF32
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			layer, acts := fastLayer(t, 96, c.h, c.f, c.v, 16, false, 7)
+			n := acts.Dim(0)
+			idx := layer.Codebooks.searchSerial(acts)
+			want := layer.Table.lookupSerial(idx, n)
+			dl := NewDecodeLUT(layer.Table)
+			got := make([]float32, c.f)
+			for i := 0; i < n; i++ {
+				dl.LookupRowInto(got, idx[i*layer.Codebooks.CB:(i+1)*layer.Codebooks.CB])
+				sameBitsRow(t, "fp32 row "+c.name, got, want.Row(i))
+			}
+
+			layer.EnableINT8()
+			qwant := layer.QTable.lookupSerial(idx, n)
+			qdl := NewDecodeQLUT(layer.QTable)
+			a := arenaPool.Get().(*arena)
+			defer arenaPool.Put(a)
+			for i := 0; i < n; i++ {
+				qdl.LookupRowInto(got, idx[i*layer.Codebooks.CB:(i+1)*layer.Codebooks.CB], a)
+				sameBitsRow(t, "int8 row "+c.name, got, qwant.Row(i))
+			}
+		})
+	}
+}
+
+// TestForwardRowMatchesSerialGolden is the end-to-end decode oracle: the
+// fused per-row forward (pruned CCS + tile-major gather + bias) must be
+// bit-identical to forwardSerial on the same rows, FP32 and INT8.
+func TestForwardRowMatchesSerialGolden(t *testing.T) {
+	for _, withBias := range []bool{false, true} {
+		for _, int8mode := range []bool{false, true} {
+			name := map[bool]string{false: "nobias", true: "bias"}[withBias] +
+				"/" + map[bool]string{false: "fp32", true: "int8"}[int8mode]
+			t.Run(name, func(t *testing.T) {
+				layer, acts := fastLayer(t, 64, 48, 200, 4, 16, withBias, 21)
+				if int8mode {
+					layer.EnableINT8()
+				}
+				want := layer.forwardSerial(acts)
+				got := make([]float32, 200)
+				for i := 0; i < acts.Dim(0); i++ {
+					layer.ForwardRowInto(got, acts.Row(i))
+					sameBitsRow(t, "forward row", got, want.Row(i))
+				}
+			})
+		}
+	}
+}
+
+// TestForwardRowInvalidatesOnRebuild checks the lazily built decode state
+// tracks table changes: after RebuildTable with a new weight, the row
+// path must match the new serial reference, not the stale tables.
+func TestForwardRowInvalidatesOnRebuild(t *testing.T) {
+	layer, acts := fastLayer(t, 32, 32, 64, 4, 16, false, 9)
+	got := make([]float32, 64)
+	layer.ForwardRowInto(got, acts.Row(0)) // builds decode state
+
+	rng := rand.New(rand.NewSource(99))
+	w2 := tensor.RandN(rng, 1, 64, 32)
+	if err := layer.RebuildTable(w2); err != nil {
+		t.Fatal(err)
+	}
+	want := layer.forwardSerial(acts)
+	for i := 0; i < acts.Dim(0); i++ {
+		layer.ForwardRowInto(got, acts.Row(i))
+		sameBitsRow(t, "post-rebuild row", got, want.Row(i))
+	}
+}
+
+func BenchmarkSearchRow(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	acts := tensor.RandN(rng, 1, 64, 768)
+	cbs, err := BuildCodebooks(acts, Params{V: 4, CT: 16}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs := NewRowSearcher(cbs)
+	idx := make([]uint8, cbs.CB)
+	row := acts.Row(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.SearchRowInto(idx, row)
+	}
+}
+
+func BenchmarkDecodeLookupRow(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	acts := tensor.RandN(rng, 1, 64, 768)
+	w := tensor.RandN(rng, 1, 768, 768)
+	layer, err := Convert(w, nil, acts, Params{V: 4, CT: 16}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := layer.Codebooks.Search(acts)
+	dl := NewDecodeLUT(layer.Table)
+	out := make([]float32, 768)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dl.LookupRowInto(out, idx[:layer.Codebooks.CB])
+	}
+}

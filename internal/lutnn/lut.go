@@ -159,12 +159,17 @@ func (q *QuantizedLUT) lookupSerial(idx []uint8, n int) *tensor.Tensor {
 }
 
 // Layer bundles everything needed to run one linear layer as LUT-NN on the
-// host: codebooks for CCS, tables for lookup, and an optional bias.
+// host: codebooks for CCS, tables for lookup, and an optional bias. The
+// decode field caches the single-row decode layouts (see decode.go); it
+// is rebuilt automatically when the tables change, so Layer values must
+// be shared by pointer (as all call sites already do).
 type Layer struct {
 	Codebooks *Codebooks
 	Table     *LUT
 	QTable    *QuantizedLUT // non-nil when INT8 inference is enabled
 	Bias      *tensor.Tensor
+
+	decode decodePtr
 }
 
 // Convert builds a LUT-NN layer from a weight matrix (F×H), an optional

@@ -12,10 +12,23 @@ import (
 // projecting through the (tied) embedding table. Requires TokenInput
 // (it panics otherwise).
 func (m *Model) LMHead(b *Batch) *tensor.Tensor {
+	return m.LMHeadAt(b, m.Config.SeqLen-1)
+}
+
+// LMHeadAt is LMHead at an arbitrary window position: logits for row pos
+// of each sequence. Generation with a partially filled window reads the
+// last REAL position instead of the padded tail — under the causal mask
+// the padding rows after pos are invisible to it, so the logits equal
+// those of a full window that happened to end at pos. It panics unless
+// the model is TokenInput and 0 ≤ pos < SeqLen.
+func (m *Model) LMHeadAt(b *Batch, pos int) *tensor.Tensor {
 	if m.Config.Kind != TokenInput {
 		panic("nn: LMHead requires TokenInput")
 	}
 	c := m.Config
+	if pos < 0 || pos >= c.SeqLen {
+		panic(fmt.Sprintf("nn: LMHeadAt position %d outside window [0,%d)", pos, c.SeqLen))
+	}
 	x := m.embedInfer(b)
 	for _, blk := range m.Blocks {
 		h := tensor.LayerNormRows(x, blk.LN1g.T, blk.LN1b.T, 1e-5)
@@ -27,12 +40,12 @@ func (m *Model) LMHead(b *Batch) *tensor.Tensor {
 		x = tensor.AddInPlace(blk.FFN2.Infer(inner), x)
 	}
 	x = tensor.LayerNormRows(x, m.FinalLNg.T, m.FinalLNb.T, 1e-5)
-	// Last position of each sequence, projected onto the embedding table
+	// Position pos of each sequence, projected onto the embedding table
 	// (weight tying, the standard LM head).
 	batch := b.BatchN
 	last := tensor.New(batch, c.Hidden)
 	for s := 0; s < batch; s++ {
-		copy(last.Row(s), x.Row((s+1)*c.SeqLen-1))
+		copy(last.Row(s), x.Row(s*c.SeqLen+pos))
 	}
 	return tensor.MatMulT(last, m.Embed.T)
 }
@@ -41,6 +54,15 @@ func (m *Model) LMHead(b *Batch) *tensor.Tensor {
 // greedy decoding (or temperature sampling when rng is non-nil and
 // temperature > 0). The model must be causal; the context window slides
 // once prompts exceed SeqLen.
+//
+// The window is LEFT-aligned: tokens occupy positions 0..L−1 and the
+// tail is padding, with logits read at position L−1. Padding after the
+// query position is causally masked, so short prompts see no pad tokens
+// at all (the previous right-aligned layout put padding at early
+// positions, where the causal mask could not hide it). Left alignment
+// also keeps every token's absolute position stable while the window
+// fills, which is what makes the KV-cached fastpath in decode.go
+// bit-exact with this function.
 func (m *Model) Generate(prompt []int, steps int, temperature float64, rng *rand.Rand) ([]int, error) {
 	c := m.Config
 	if c.Kind != TokenInput {
@@ -52,22 +74,30 @@ func (m *Model) Generate(prompt []int, steps int, temperature float64, rng *rand
 	if len(prompt) == 0 {
 		return nil, fmt.Errorf("nn: empty prompt")
 	}
-	seq := append([]int(nil), prompt...)
-	for step := 0; step < steps; step++ {
-		// Window: the last SeqLen tokens, left-padded with token 0.
-		window := make([]int, c.SeqLen)
-		start := len(seq) - c.SeqLen
-		for i := 0; i < c.SeqLen; i++ {
-			j := start + i
-			if j >= 0 {
-				window[i] = seq[j]
-			}
-		}
-		logits := m.LMHead(&Batch{TokenIDs: window, BatchN: 1})
-		next := pickToken(logits.Row(0), temperature, rng)
-		seq = append(seq, next)
+	// One window buffer for the whole generation, maintained
+	// incrementally: append while filling, shift-by-one once full. The
+	// full history is not needed — the window is the model's entire view.
+	window := make([]int, c.SeqLen)
+	l := len(prompt)
+	if l > c.SeqLen {
+		l = c.SeqLen
 	}
-	return seq[len(prompt):], nil
+	copy(window, prompt[len(prompt)-l:])
+	out := make([]int, 0, steps)
+	batch := &Batch{TokenIDs: window, BatchN: 1}
+	for step := 0; step < steps; step++ {
+		logits := m.LMHeadAt(batch, l-1)
+		next := pickToken(logits.Row(0), temperature, rng)
+		out = append(out, next)
+		if l < c.SeqLen {
+			window[l] = next
+			l++
+		} else {
+			copy(window, window[1:])
+			window[c.SeqLen-1] = next
+		}
+	}
+	return out, nil
 }
 
 // pickToken selects greedily, or samples from softmax(logits/T).

@@ -1,0 +1,214 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/parallel"
+)
+
+// DecodeServer is the generation-side counterpart of Server: where the
+// Server batches whole-sequence inference requests against a simulated
+// backend, the DecodeServer runs REAL token generation on an nn.Model,
+// continuously batching the KV-cached decode sessions of concurrent
+// generation jobs into stacked nn.DecodeBatch steps. Jobs join and
+// leave the batch only at step boundaries, so every job's token stream
+// is bit-identical to a solo GenerateCached run — and therefore to the
+// uncached nn.Generate oracle.
+//
+// Lifecycle: NewDecodeServer → Submit/Generate (any goroutines) →
+// Close. Close stops admission, finishes every in-flight job, and
+// joins the step loop.
+type DecodeServer struct {
+	m     *nn.Model
+	cfg   DecodeConfig
+	queue chan *DecodeJob
+	g     parallel.Group
+}
+
+// DecodeConfig parameterizes a DecodeServer.
+type DecodeConfig struct {
+	// MaxBatch bounds the sequences stacked per decode step.
+	MaxBatch int
+	// QueueCap bounds jobs waiting for a batch slot; Submit blocks while
+	// the queue is full (decode jobs are long-lived, so backpressure at
+	// the door beats unbounded buffering).
+	QueueCap int
+}
+
+// Validate checks the configuration.
+func (c DecodeConfig) Validate() error {
+	if c.MaxBatch <= 0 {
+		return fmt.Errorf("live: decode MaxBatch must be positive")
+	}
+	if c.QueueCap <= 0 {
+		return fmt.Errorf("live: decode QueueCap must be positive")
+	}
+	return nil
+}
+
+// DecodeJob is one in-flight generation request.
+type DecodeJob struct {
+	prompt      []int
+	steps       int
+	temperature float64
+	rng         *rand.Rand
+
+	sess *nn.DecodeSession
+	out  []int
+	err  error
+	done chan struct{}
+}
+
+// Wait blocks until the job finishes and returns its generated tokens.
+func (j *DecodeJob) Wait() ([]int, error) {
+	<-j.done
+	return j.out, j.err
+}
+
+// NewDecodeServer builds and starts a decode server for the model. The
+// model must be causal TokenInput (session construction enforces it per
+// job).
+func NewDecodeServer(m *nn.Model, cfg DecodeConfig) (*DecodeServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("live: decode server needs a model")
+	}
+	s := &DecodeServer{m: m, cfg: cfg, queue: make(chan *DecodeJob, cfg.QueueCap)}
+	s.g.Go(s.stepLoop)
+	return s, nil
+}
+
+// Submit enqueues one generation job: steps tokens continuing prompt,
+// greedy when temperature ≤ 0, otherwise sampled from a job-private rng
+// seeded with seed (a private stream keeps the output independent of
+// batch-mate scheduling). Blocks while the queue is full. Submit must
+// not be called after Close.
+func (s *DecodeServer) Submit(prompt []int, steps int, temperature float64, seed int64) *DecodeJob {
+	j := &DecodeJob{
+		prompt:      append([]int(nil), prompt...),
+		steps:       steps,
+		temperature: temperature,
+		done:        make(chan struct{}),
+	}
+	if temperature > 0 {
+		j.rng = rand.New(rand.NewSource(seed))
+	}
+	s.queue <- j
+	return j
+}
+
+// Generate is Submit + Wait.
+func (s *DecodeServer) Generate(prompt []int, steps int, temperature float64, seed int64) ([]int, error) {
+	return s.Submit(prompt, steps, temperature, seed).Wait()
+}
+
+// Close stops admission, completes every queued and in-flight job, and
+// joins the step loop. Submit must not be called concurrently with or
+// after Close.
+func (s *DecodeServer) Close() {
+	close(s.queue)
+	s.g.Wait()
+}
+
+// finish moves a job to its terminal state.
+func (j *DecodeJob) finish(err error) {
+	j.err = err
+	close(j.done)
+}
+
+// stepLoop is the continuous decode batcher: each iteration admits
+// waiting jobs up to MaxBatch, picks one token per active job, retires
+// jobs that reached their budget BEFORE the batched feed (a finished
+// job must not pay for one more step), and advances the survivors in a
+// single stacked nn.DecodeBatch step.
+func (s *DecodeServer) stepLoop() {
+	db := nn.NewDecodeBatch(s.m)
+	var active []*DecodeJob
+	open := true
+	for open || len(active) > 0 {
+		active, open = s.admit(active, open)
+		if len(active) == 0 {
+			continue
+		}
+
+		// Pick one token per job; retire jobs that hit their budget.
+		toks := make([]int, 0, len(active))
+		survivors := active[:0]
+		for _, j := range active {
+			j.out = append(j.out, j.sess.Pick(j.temperature, j.rng))
+			if len(j.out) >= j.steps {
+				j.finish(nil)
+				continue
+			}
+			survivors = append(survivors, j)
+			toks = append(toks, j.out[len(j.out)-1])
+		}
+		active = survivors
+		if len(active) == 0 {
+			continue
+		}
+
+		sessions := make([]*nn.DecodeSession, len(active))
+		for i, j := range active {
+			sessions[i] = j.sess
+		}
+		if err := db.SetSessions(sessions); err != nil {
+			s.fail(active, err)
+			active = active[:0]
+			continue
+		}
+		if err := db.Feed(toks); err != nil {
+			// Feed validates before mutating any session; a failure here
+			// is a programming error on the caller side of the batch, so
+			// surface it on every member rather than guessing a culprit.
+			s.fail(active, err)
+			active = active[:0]
+		}
+	}
+}
+
+// admit fills free batch slots from the queue: blocking while idle (no
+// active jobs burn no CPU), non-blocking otherwise. Jobs whose session
+// cannot be built (bad prompt, non-causal model) or whose step budget
+// is empty finish immediately and never occupy a slot.
+func (s *DecodeServer) admit(active []*DecodeJob, open bool) ([]*DecodeJob, bool) {
+	for open && len(active) < s.cfg.MaxBatch {
+		var j *DecodeJob
+		var ok bool
+		if len(active) == 0 {
+			j, ok = <-s.queue
+		} else {
+			select {
+			case j, ok = <-s.queue:
+			default:
+				return active, open
+			}
+		}
+		if !ok {
+			return active, false
+		}
+		if j.steps <= 0 {
+			j.finish(nil)
+			continue
+		}
+		sess, err := nn.NewDecodeSession(s.m, j.prompt)
+		if err != nil {
+			j.finish(err)
+			continue
+		}
+		j.sess = sess
+		active = append(active, j)
+	}
+	return active, open
+}
+
+// fail finishes every job with err.
+func (s *DecodeServer) fail(jobs []*DecodeJob, err error) {
+	for _, j := range jobs {
+		j.finish(err)
+	}
+}

@@ -1,0 +1,142 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func decodeModel(t *testing.T) *nn.Model {
+	t.Helper()
+	c := nn.Tiny(nn.TokenInput, 8, 2)
+	c.Causal = true
+	return nn.NewModel(c, 31)
+}
+
+// TestDecodeServerMatchesGenerate is the batcher's oracle: jobs served
+// through the continuously batched decode loop must produce exactly the
+// token streams of the uncached nn.Generate reference, no matter how
+// the batch was packed.
+func TestDecodeServerMatchesGenerate(t *testing.T) {
+	m := decodeModel(t)
+	s, err := NewDecodeServer(m, DecodeConfig{MaxBatch: 4, QueueCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := [][]int{
+		{1},
+		{2, 3, 4},
+		{9, 8, 7, 6, 5, 4, 3, 2}, // full window from the start
+		{1, 1, 2, 2, 3, 3},
+		{5, 6},
+		{7},
+	}
+	steps := []int{12, 7, 10, 3, 9, 1}
+
+	var wg sync.WaitGroup
+	got := make([][]int, len(prompts))
+	errs := make([]error, len(prompts))
+	for i := range prompts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = s.Generate(prompts[i], steps[i], 0, 0)
+		}(i)
+	}
+	wg.Wait()
+	s.Close()
+
+	for i := range prompts {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		want, err := m.Generate(prompts[i], steps[i], 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got[i]) != len(want) {
+			t.Fatalf("job %d: %d tokens, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("job %d token %d: batched %d, reference %d\nbatched   %v\nreference %v",
+					i, j, got[i][j], want[j], got[i], want)
+			}
+		}
+	}
+}
+
+// TestDecodeServerSampledDeterministic: a sampled job's private seeded
+// rng makes its stream independent of batch-mates — identical to a solo
+// seeded Generate run.
+func TestDecodeServerSampledDeterministic(t *testing.T) {
+	m := decodeModel(t)
+	s, err := NewDecodeServer(m, DecodeConfig{MaxBatch: 3, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy noise jobs share the batch with the sampled job.
+	n1 := s.Submit([]int{1, 2}, 15, 0, 0)
+	sampled := s.Submit([]int{3, 4, 5}, 10, 0.8, 77)
+	n2 := s.Submit([]int{6}, 5, 0, 0)
+	got, err := sampled.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	want, err := m.Generate([]int{3, 4, 5}, 10, 0.8, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sampled token %d: batched %d, solo %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodeServerBadJobs(t *testing.T) {
+	m := decodeModel(t)
+	s, err := NewDecodeServer(m, DecodeConfig{MaxBatch: 2, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid prompt fails its own job without touching a healthy one.
+	bad := s.Submit(nil, 5, 0, 0)
+	good := s.Submit([]int{1}, 5, 0, 0)
+	if _, err := bad.Wait(); err == nil {
+		t.Fatal("empty prompt accepted")
+	}
+	out, err := good.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("healthy job got %d tokens", len(out))
+	}
+	// Zero-step job finishes immediately and empty.
+	none, err := s.Generate([]int{1}, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("zero-step job produced %v", none)
+	}
+	s.Close()
+
+	if _, err := NewDecodeServer(m, DecodeConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := NewDecodeServer(nil, DecodeConfig{MaxBatch: 1, QueueCap: 1}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}

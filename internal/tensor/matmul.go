@@ -1,6 +1,8 @@
 package tensor
 
 import (
+	"fmt"
+
 	"repro/internal/parallel"
 )
 
@@ -36,21 +38,50 @@ func MatMulT(a, b *Tensor) *Tensor {
 	}
 	n := b.Dim(0)
 	c := New(m, n)
+	MatMulTInto(c, a, b)
+	return c
+}
+
+// MatMulTInto computes C = A·Bᵀ into a caller-owned tensor (no
+// allocation), sharing the row kernel with MatMulT. It panics on rank or
+// shape mismatch.
+func MatMulTInto(c, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic("tensor: MatMulTInto requires rank-2 tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	if b.Dim(1) != k {
+		panic("tensor: MatMulTInto inner dimension mismatch")
+	}
+	n := b.Dim(0)
+	if c.Dim(0) != m || c.Dim(1) != n {
+		panic("tensor: MatMulTInto output shape mismatch")
+	}
 	parallelRows(m, 2*m*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			ar := a.Data[i*k : (i+1)*k]
-			cr := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				br := b.Data[j*k : (j+1)*k]
-				var s float32
-				for p := range ar {
-					s += ar[p] * br[p]
-				}
-				cr[j] = s
-			}
+			MatVecTInto(c.Data[i*n:(i+1)*n], a.Data[i*k:(i+1)*k], b.Data, n, k)
 		}
 	})
-	return c
+}
+
+// MatVecTInto computes one row of A·Bᵀ: dst[j] = Σ_p a[p]·B[j][p] for B
+// an n×k row-major matrix given as a flat slice. This is the exact inner
+// kernel of MatMulT, exported so the decode fastpath's single-row
+// projections are bit-identical to the batched path. It panics on a
+// shape mismatch.
+func MatVecTInto(dst, a, b []float32, n, k int) {
+	if len(dst) != n || len(a) != k || len(b) != n*k {
+		panic(fmt.Sprintf("tensor: MatVecTInto shapes dst=%d a=%d b=%d want n=%d k=%d n*k=%d",
+			len(dst), len(a), len(b), n, k, n*k))
+	}
+	for j := 0; j < n; j++ {
+		br := b[j*k : (j+1)*k]
+		var s float32
+		for p := range a {
+			s += a[p] * br[p]
+		}
+		dst[j] = s
+	}
 }
 
 // matmulInto computes c += a·b with c pre-zeroed, using an ikj loop order

@@ -76,26 +76,31 @@ func SoftmaxRows(a *Tensor) *Tensor {
 	m, n := a.Dim(0), a.Dim(1)
 	out := New(m, n)
 	for i := 0; i < m; i++ {
-		src := a.Data[i*n : (i+1)*n]
-		dst := out.Data[i*n : (i+1)*n]
-		maxv := src[0]
-		for _, v := range src[1:] {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float32
-		for j, v := range src {
-			e := float32(math.Exp(float64(v - maxv)))
-			dst[j] = e
-			sum += e
-		}
-		inv := 1 / sum
-		for j := range dst {
-			dst[j] *= inv
-		}
+		SoftmaxRowInto(out.Data[i*n:(i+1)*n], a.Data[i*n:(i+1)*n])
 	}
 	return out
+}
+
+// SoftmaxRowInto writes softmax(src) into dst (same length, may alias).
+// The decode fastpath shares this with SoftmaxRows so cached and
+// uncached attention agree bit for bit.
+func SoftmaxRowInto(dst, src []float32) {
+	maxv := src[0]
+	for _, v := range src[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float32
+	for j, v := range src {
+		e := float32(math.Exp(float64(v - maxv)))
+		dst[j] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for j := range dst {
+		dst[j] *= inv
+	}
 }
 
 // LayerNormRows normalizes each row to zero mean and unit variance, then
@@ -108,33 +113,44 @@ func LayerNormRows(a, gamma, beta *Tensor, eps float32) *Tensor {
 	m, n := a.Dim(0), a.Dim(1)
 	out := New(m, n)
 	for i := 0; i < m; i++ {
-		src := a.Data[i*n : (i+1)*n]
-		dst := out.Data[i*n : (i+1)*n]
-		var mean float32
-		for _, v := range src {
-			mean += v
-		}
-		mean /= float32(n)
-		var varSum float32
-		for _, v := range src {
-			d := v - mean
-			varSum += d * d
-		}
-		inv := 1 / float32(math.Sqrt(float64(varSum/float32(n)+eps)))
-		for j, v := range src {
-			dst[j] = (v-mean)*inv*gamma.Data[j] + beta.Data[j]
-		}
+		LayerNormRowInto(out.Data[i*n:(i+1)*n], a.Data[i*n:(i+1)*n], gamma.Data, beta.Data, eps)
 	}
 	return out
+}
+
+// LayerNormRowInto layer-normalizes one row into dst (same length as
+// src; may alias). Shared by LayerNormRows and the decode fastpath.
+func LayerNormRowInto(dst, src, gamma, beta []float32, eps float32) {
+	n := len(src)
+	var mean float32
+	for _, v := range src {
+		mean += v
+	}
+	mean /= float32(n)
+	var varSum float32
+	for _, v := range src {
+		d := v - mean
+		varSum += d * d
+	}
+	inv := 1 / float32(math.Sqrt(float64(varSum/float32(n)+eps)))
+	for j, v := range src {
+		dst[j] = (v-mean)*inv*gamma[j] + beta[j]
+	}
 }
 
 // GELU applies the tanh-approximated Gaussian error linear unit.
 func GELU(a *Tensor) *Tensor {
 	c := a.Clone()
-	for i, v := range c.Data {
-		c.Data[i] = geluScalar(v)
-	}
+	GELURowInto(c.Data, c.Data)
 	return c
+}
+
+// GELURowInto applies GELU elementwise from src into dst (same length,
+// may alias). Shared by GELU and the decode fastpath.
+func GELURowInto(dst, src []float32) {
+	for i, v := range src {
+		dst[i] = geluScalar(v)
+	}
 }
 
 func geluScalar(x float32) float32 {
