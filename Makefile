@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-faults chaos-smoke shard-smoke decode-smoke bench bench-smoke bench-json metrics-smoke bench-overhead vet fmt lint lint-baseline experiments examples clean
+.PHONY: all build test test-short test-race test-faults chaos-smoke shard-smoke decode-smoke trace-smoke bench bench-smoke bench-json metrics-smoke bench-overhead vet fmt lint lint-baseline experiments examples clean
 
 all: build vet lint test
 
@@ -129,6 +129,20 @@ decode-smoke:
 	$(GO) run ./cmd/pimdl-bench -compare -decode-only \
 		BENCH_2026-08-08.json decode-report.json
 
+# trace-smoke exercises the request-scoped tracing layer end to end:
+# first the tracing oracles under the race detector (server spans
+# reconcile against recorded latencies, decode-server spans reconcile
+# under real concurrency, exemplar slots resolve, the Perfetto spans
+# track keeps its pinned event counts), then one pimdl-trace chaos run
+# — itself built with -race — which refuses to print a report unless
+# every kept trace's per-phase seconds sum to its end-to-end latency
+# within 1e-9 and every exemplar the run stamped resolves in the ring.
+# CI uploads trace-report.json as an artifact. See DESIGN.md §15.
+trace-smoke:
+	$(GO) test -race ./internal/obs/ ./internal/serving/live/ ./internal/trace/ 		-run 'Trace|Tracer|Reconcile|Breakdown|Report|Exemplar|SpansTrack' 		-v -timeout 600s
+	$(GO) run -race ./cmd/pimdl-trace -requests 800 -top 5 		-json trace-report.json -trace trace-spans.json
+	$(GO) test -race ./cmd/pimdl-trace/ -timeout 300s
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX .
 
@@ -185,4 +199,5 @@ clean:
 	rm -f test_output.txt bench_output.txt \
 		metrics-snapshot.json chaos-snapshot.json shard-snapshot.json \
 		bench-nometrics.json bench-metrics.json \
-		decode-report.json decode-metrics.json
+		decode-report.json decode-metrics.json \
+		trace-report.json trace-spans.json

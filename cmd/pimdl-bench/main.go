@@ -36,6 +36,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prof"
 )
 
@@ -142,7 +143,13 @@ func main() {
 			// two sequential pimdl-bench processes incomparable on noisy
 			// CI hosts.
 			var off []bench.KernelResult
-			off, kernels, err = bench.KernelsAB(*quick, metrics.SetEnabled)
+			off, kernels, err = bench.KernelsAB(*quick, func(on bool) {
+				// The span layer rides the same <=2% gate as metrics: a
+				// kernel that would regress with tracing enabled fails the
+				// overhead guard, not a production run.
+				metrics.SetEnabled(on)
+				obs.SetEnabled(on)
+			})
 			if err == nil {
 				baseline = &bench.Report{
 					Schema:     report.Schema,

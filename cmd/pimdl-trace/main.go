@@ -1,0 +1,434 @@
+// Command pimdl-trace runs a seeded chaos scenario through the
+// deterministic live-serving runner with request-scoped tracing on and
+// emits the tail-latency attribution report: percentile bands of the
+// served-latency distribution decomposed into per-phase blame (queue /
+// batch / pim / broadcast / gather / retry / backoff / host / other),
+// plus a top-K slowest-requests table.
+//
+// The run is pure virtual time (no goroutines, no wall clock), so a
+// fixed seed reproduces the report byte for byte — which is what makes
+// it CI-assertable. Before printing anything the command verifies the
+// two invariants the tracing layer promises:
+//
+//   - attribution: every kept trace's per-phase seconds sum to the
+//     recorder's own end-to-end latency within 1e-9;
+//   - exemplar resolution: every trace ID stamped onto a histogram
+//     bucket resolves against the tracer's ring.
+//
+// A violation exits nonzero — make trace-smoke runs this under -race.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pim"
+	"repro/internal/serving"
+	"repro/internal/serving/live"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimdl-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// output is the CLI's JSON envelope: the run summary, the verified
+// invariants, and the attribution report.
+type output struct {
+	Summary live.Summary `json:"summary"`
+	Checks  checks       `json:"checks"`
+	Report  *obs.Report  `json:"report"`
+}
+
+type checks struct {
+	RecordsReconciled int `json:"records_reconciled"`
+	ExemplarsResolved int `json:"exemplars_resolved"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pimdl-trace", flag.ContinueOnError)
+	requests := fs.Int("requests", 3000, "number of requests to generate")
+	rate := fs.Float64("rate", 500, "open-loop arrival rate in req/s")
+	seed := fs.Int64("seed", 17, "load-generator seed (also salts the trace IDs)")
+	burst := fs.Float64("burst", 2, "MMPP burst factor over the base rate (0 = plain Poisson)")
+	zipf := fs.Float64("zipf", 1.4, "Zipf exponent of the request-kind mix (> 1; 0 = single kind)")
+	batch := fs.Int("batch", 16, "continuous-batching batch budget")
+	wait := fs.Float64("wait", 0.01, "max wait before dispatching a partial batch (virtual seconds)")
+	deadline := fs.Float64("deadline", 1.0, "per-request deadline in virtual seconds (0 = none)")
+	retries := fs.Int("retries", 2, "retry budget per batch")
+	backoff := fs.Float64("backoff", 0.01, "base retry backoff in virtual seconds (doubles per attempt)")
+	queue := fs.Int("queue", 1024, "admission queue capacity")
+	shed := fs.String("shed", "reject", "load-shedding policy: reject, block, degrade")
+	degradeWorkers := fs.Int("degrade-workers", 2, "host workers of the degrade lane (shed=degrade)")
+	brWindow := fs.Int("breaker-window", 6, "circuit breaker outcome window (0 disables the breaker)")
+	brTrip := fs.Float64("breaker-trip", 0.5, "circuit breaker failure-ratio trip threshold")
+	brCooldown := fs.Float64("breaker-cooldown", 0.4, "circuit breaker cooldown before probing (virtual seconds)")
+	chaosAt := fs.Float64("chaos-at", 2, "fault-storm start in virtual seconds (0 disables chaos)")
+	chaosHeal := fs.Float64("chaos-heal", 3.5, "fault-storm heal time in virtual seconds")
+	chaosDead := fs.Float64("chaos-dead", 0.1, "storm: fraction of PEs dead")
+	chaosFlip := fs.Float64("chaos-flip", 0.9, "storm: per-transfer bit-flip rate")
+	chaosStraggler := fs.Float64("chaos-straggler", 0.5, "storm: straggler slowdown spread")
+	chaosSeed := fs.Int64("chaos-seed", 99, "storm fault-plan seed")
+	shards := fs.Int("shards", 0, "DIMM shards of the cluster backend (0 = single PIM array)")
+	replicas := fs.Int("replicas", 2, "replicas per sub-LUT range (shards > 0)")
+	sample := fs.Float64("sample", 1, "keep probability for non-critical traces in [0,1]")
+	ring := fs.Int("ring", 8192, "completed-trace ring capacity")
+	top := fs.Int("top", 10, "rows of the slowest-requests table")
+	jsonPath := fs.String("json", "", "write the report envelope as JSON to this file (\"-\" = stdout)")
+	tracePath := fs.String("trace", "", "write the run as Chrome trace-event JSON (with the request-spans track)")
+	metricsPath := fs.String("metrics", "", "write the metrics registry snapshot as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	cfg := live.Config{
+		Policy:   serving.Policy{MaxBatch: *batch, MaxWait: *wait},
+		QueueCap: *queue,
+		Robust:   serving.Robustness{Deadline: *deadline, MaxRetries: *retries, Backoff: *backoff},
+	}
+	switch *shed {
+	case "reject":
+		cfg.Shed = live.ShedReject
+	case "block":
+		cfg.Shed = live.ShedBlock
+	case "degrade":
+		cfg.Shed = live.ShedDegrade
+		cfg.DegradeWorkers = *degradeWorkers
+	default:
+		return fmt.Errorf("-shed: unknown policy %q (want reject, block or degrade)", *shed)
+	}
+	if *brWindow > 0 {
+		cfg.Breaker = live.BreakerConfig{
+			Window:     *brWindow,
+			MinSamples: (*brWindow + 1) / 2,
+			TripRatio:  *brTrip,
+			Cooldown:   *brCooldown,
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	spec := live.LoadSpec{Rate: *rate, Requests: *requests, Seed: *seed}
+	if *burst > 0 {
+		spec.Burst = &live.MMPP{BurstFactor: *burst, MeanCalm: 2.0, MeanBurst: 0.5}
+	}
+	if *zipf > 0 {
+		spec.Mix = live.ZipfMix{S: *zipf, Kinds: 4}
+	}
+	arrivals, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+
+	var sched live.ChaosSchedule
+	if *chaosAt > 0 {
+		sched = live.ChaosSchedule{
+			{At: *chaosAt, Plan: pim.FaultPlan{Seed: *chaosSeed, DeadPEFraction: *chaosDead,
+				FlipRate: *chaosFlip, StragglerSpread: *chaosStraggler}, Note: "storm"},
+		}
+		if *chaosHeal > *chaosAt {
+			sched = append(sched, live.ChaosEvent{At: *chaosHeal, Note: "heal"})
+		}
+	}
+
+	pimBE, hostBE, err := buildBackends(*shards, *replicas)
+	if err != nil {
+		return err
+	}
+	tracer, err := obs.NewTracer(obs.Config{Capacity: *ring, SampleRate: *sample, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	// Snapshot the exemplar slots first: the registry is process-global
+	// and latest-wins, so only slots this run writes are attributable to
+	// this run's tracer.
+	before, err := registryExemplars()
+	if err != nil {
+		return err
+	}
+	res, err := live.RunDeterministic(cfg, pimBE, hostBE, arrivals, sched, tracer)
+	if err != nil {
+		return err
+	}
+	if err := res.Summary.Conservation(); err != nil {
+		return err
+	}
+
+	ck, err := verify(res, tracer, before)
+	if err != nil {
+		return err
+	}
+	rep, err := obs.BuildReport(tracer, nil, *top)
+	if err != nil {
+		return err
+	}
+	out := output{Summary: res.Summary, Checks: ck, Report: rep}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, out, stdout); err != nil {
+			return err
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.ExportLive(f, res.Recorder, tracer); err != nil {
+			_ = f.Close() // the export error is the one worth reporting
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *metricsPath != "" {
+		if err := metrics.Default().WriteFile(*metricsPath); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "-" {
+		return printReport(stdout, out)
+	}
+	return nil
+}
+
+// buildBackends constructs the scenario's backends: the reference LUT
+// operator on the UPMEM preset (the shape the live-serving tests pin),
+// either as a single fault-injected array or placed across a replicated
+// DIMM cluster, plus the host fallback lane.
+func buildBackends(shards, replicas int) (live.Backend, live.Backend, error) {
+	plat := pim.UPMEM()
+	w := pim.Workload{N: 32, CB: 16, CT: 8, F: 32, ElemBytes: 2}
+	m := pim.Mapping{
+		NsTile: 8, FsTile: 8,
+		NmTile: 8, FmTile: 8, CBmTile: 4,
+		Traversal: [3]pim.Loop{pim.LoopN, pim.LoopF, pim.LoopCB},
+		Scheme:    pim.CoarseLoad, CBLoadTile: 1, FLoadTile: 8,
+	}
+	pimModel := func(b int) float64 { return 0.02 + 0.002*float64(b) }
+	hostModel := func(b int) float64 { return 0.04 + 0.004*float64(b) }
+
+	hostBE, err := live.NewHostBackend(hostModel)
+	if err != nil {
+		return nil, nil, err
+	}
+	if shards <= 0 {
+		pimBE, err := live.NewPIMBackend(plat, w, m, pimModel)
+		if err != nil {
+			return nil, nil, err
+		}
+		return pimBE, hostBE, nil
+	}
+	// Cluster: replicate row blocks so any single shard can die without
+	// losing a sub-LUT range; scale N so every replica owns a block.
+	w.N *= replicas
+	c, err := shard.New(plat, w, m, shard.Config{Shards: shards, Replicas: replicas}, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	pimBE, err := live.NewShardedPIMBackend(c, pimModel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pimBE, hostBE, nil
+}
+
+// verify asserts the attribution and exemplar-resolution invariants
+// over the finished run.
+func verify(res *live.ChaosResult, tracer *obs.Tracer, before map[string]map[string]uint64) (checks, error) {
+	var ck checks
+	for _, rec := range res.Recorder.Records() {
+		if rec.TraceID == 0 {
+			continue // dropped by sampling or ring eviction
+		}
+		tr := tracer.Lookup(rec.TraceID)
+		if tr == nil {
+			return ck, fmt.Errorf("record %d: trace %016x escaped the ring", rec.ID, rec.TraceID)
+		}
+		if err := obs.Reconcile(tr); err != nil {
+			return ck, err
+		}
+		if lat := rec.Latency(); lat > 0 {
+			var sum float64
+			for _, secs := range obs.Breakdown(tr) {
+				sum += secs
+			}
+			if d := math.Abs(sum - lat); d > obs.ReconcileTolerance {
+				return ck, fmt.Errorf("record %d: attribution %.12g != recorded latency %.12g (|Δ|=%.3g)",
+					rec.ID, sum, lat, d)
+			}
+		}
+		ck.RecordsReconciled++
+	}
+	if ck.RecordsReconciled == 0 {
+		return ck, fmt.Errorf("no records carried a resolvable trace — tracing was off or everything was dropped")
+	}
+	n, err := resolveExemplars(tracer, before)
+	if err != nil {
+		return ck, err
+	}
+	ck.ExemplarsResolved = n
+	return ck, nil
+}
+
+// registryExemplars reads every histogram's exemplar slots out of the
+// default registry's JSON exposition (the registry exposes exemplars
+// only through it), keyed metric name → bucket → trace ID.
+func registryExemplars() (map[string]map[string]uint64, error) {
+	out := map[string]map[string]uint64{}
+	if !metrics.Enabled() {
+		return out, nil
+	}
+	var buf bytes.Buffer
+	if err := metrics.Default().WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		return nil, err
+	}
+	for name, v := range doc {
+		hist, ok := v.(map[string]any)
+		if !ok {
+			continue
+		}
+		ex, ok := hist["exemplars"].(map[string]any)
+		if !ok {
+			continue
+		}
+		ids := map[string]uint64{}
+		for bucket, raw := range ex {
+			s, ok := raw.(string)
+			if !ok {
+				return nil, fmt.Errorf("%s: exemplar %v is not a string", name, raw)
+			}
+			id, err := strconv.ParseUint(s, 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: exemplar %q: %v", name, s, err)
+			}
+			ids[bucket] = id
+		}
+		out[name] = ids
+	}
+	return out, nil
+}
+
+// resolveExemplars resolves every exemplar the run wrote (slots changed
+// since the pre-run snapshot) against the tracer's ring.
+func resolveExemplars(tracer *obs.Tracer, before map[string]map[string]uint64) (int, error) {
+	after, err := registryExemplars()
+	if err != nil {
+		return 0, err
+	}
+	resolved := 0
+	for name, ids := range after {
+		for bucket, id := range ids {
+			if tracer.Lookup(id) != nil {
+				resolved++
+				continue
+			}
+			// A slot this run wrote must resolve; an unchanged slot may
+			// hold a stale ID from an earlier run in the same process.
+			if before[name][bucket] != id {
+				return resolved, fmt.Errorf("%s bucket %s: exemplar %016x does not resolve", name, bucket, id)
+			}
+		}
+	}
+	return resolved, nil
+}
+
+// writeJSON writes the envelope deterministically: encoding/json emits
+// struct fields in declaration order and the report's slices are sorted
+// by construction, so a fixed seed yields identical bytes.
+func writeJSON(path string, out output, stdout io.Writer) error {
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// printReport renders the human-readable tables. The printer latches
+// the first write error, which run reports once at the end.
+func printReport(w io.Writer, out output) error {
+	p := &printer{w: w}
+	s := out.Summary
+	p.printf("run: %d submitted / %d served / %d degraded / %d shed / %d timeouts / %d failures\n",
+		s.Submitted, s.Served, s.Degraded, s.ShedQueue, s.Timeouts, s.Failures)
+	p.printf("     %d batches, %d retries, %d host-served; %d traces reconciled, %d exemplars resolved\n",
+		s.Batches, s.Retries, s.HostServed, out.Checks.RecordsReconciled, out.Checks.ExemplarsResolved)
+
+	p.printf("\n%-10s %9s %12s %12s  per-phase blame (mean seconds)\n",
+		"band", "requests", "mean", "max")
+	for _, b := range out.Report.Bands {
+		p.printf("%-10s %9d %12.6f %12.6f  %s\n",
+			b.Band, b.Requests, b.MeanLatency, b.MaxLatency, phaseLine(b.Phases))
+	}
+
+	if len(out.Report.Slowest) > 0 {
+		p.printf("\ntop %d slowest:\n", len(out.Report.Slowest))
+		p.printf("%-16s %8s %-9s %10s %10s %8s %-6s  blame\n",
+			"trace", "req", "outcome", "arrival", "latency", "attempts", "via")
+		for _, r := range out.Report.Slowest {
+			p.printf("%-16s %8d %-9s %10.4f %10.6f %8d %-6s  %s\n",
+				r.TraceID, r.ReqID, r.Outcome, r.Arrival, r.Latency, r.Attempts, r.Backend,
+				phaseLine(r.Phases))
+		}
+	}
+	return p.err
+}
+
+// printer latches the first write error so printReport can report it
+// once instead of checking every Fprintf.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// phaseLine renders a phase decomposition as "phase=secs" pairs sorted
+// by descending blame.
+func phaseLine(phases []obs.PhaseSeconds) string {
+	sorted := append([]obs.PhaseSeconds(nil), phases...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Seconds > sorted[j].Seconds })
+	line := ""
+	for _, p := range sorted {
+		if p.Seconds <= 0 {
+			continue
+		}
+		if line != "" {
+			line += " "
+		}
+		line += fmt.Sprintf("%s=%.4f", p.Phase, p.Seconds)
+	}
+	return line
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// TestRunJSONDeterministic: the acceptance property — a fixed seed
+// yields byte-identical report JSON, with every record reconciled.
+func TestRunJSONDeterministic(t *testing.T) {
+	once := func() string {
+		var buf bytes.Buffer
+		if err := run([]string{"-requests", "400", "-top", "3", "-json", "-"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := once(), once()
+	if a != b {
+		t.Fatal("identical seeds produced different report JSON")
+	}
+	var doc struct {
+		Checks struct {
+			RecordsReconciled int `json:"records_reconciled"`
+			ExemplarsResolved int `json:"exemplars_resolved"`
+		} `json:"checks"`
+		Report struct {
+			Bands   []map[string]any `json:"bands"`
+			Slowest []map[string]any `json:"slowest"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(a), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Checks.RecordsReconciled != 400 {
+		t.Fatalf("reconciled %d records, want every one of 400", doc.Checks.RecordsReconciled)
+	}
+	if doc.Checks.ExemplarsResolved == 0 {
+		t.Fatal("no exemplars resolved")
+	}
+	if len(doc.Report.Bands) != 4 || len(doc.Report.Slowest) != 3 {
+		t.Fatalf("report shape: %d bands, %d slowest", len(doc.Report.Bands), len(doc.Report.Slowest))
+	}
+}
+
+// TestRunShardedBackend: -shards switches to the cluster backend and
+// the invariants still hold.
+func TestRunShardedBackend(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-requests", "200", "-shards", "4", "-json", "-"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Summary struct {
+			Served int
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Summary.Served == 0 {
+		t.Fatal("sharded scenario served nothing")
+	}
+}
+
+// TestRunRejectsBadFlags: invalid configurations fail before running.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-shed", "bogus"},
+		{"-sample", "2"},
+		{"-ring", "0"},
+		{"-batch", "0"},
+		{"positional"},
+	} {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

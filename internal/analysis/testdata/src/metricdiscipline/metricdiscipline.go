@@ -23,6 +23,15 @@ func init() {
 	r.NewCounter("pimdl_fixture_good_total", "second registration, same name") // want: already registered
 	name := "pimdl_fixture_dynamic_total"
 	r.NewCounter(name, "non-literal name") // want: string literal
+
+	// The obs tracing layer's self-accounting series (pimdl_obs_*)
+	// follow the same convention — pinned here so a drive-by rename in
+	// internal/obs/metrics.go trips the lint, not a dashboard.
+	r.NewCounter("pimdl_obs_spans_total", "well-formed obs counter")
+	r.NewCounterFamily("pimdl_obs_traces_total", "well-formed obs family", "disposition")
+	r.NewCounter("pimdl_obs_Ring_evictions_total", "upper-case component")        // want: convention
+	r.NewHistogram("pimdl_obs_seconds_span", "unit token mid-name", []float64{1}) // want: unit token
+	r.NewGauge("pimdl_obs_ring_occupancy_total", "gauge with _total")             // want: must not end in _total
 }
 
 func registerLate(r *metrics.Registry) {

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func registryJSON(t *testing.T, r *Registry) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	return snap
+}
+
+func TestObserveExemplar(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.ObserveExemplar(0.5, 0xabc)
+	h.ObserveExemplar(3.0, 0xdef)
+	h.ObserveExemplar(100.0, 0x123) // overflow bucket
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3: ObserveExemplar must also observe", h.Count())
+	}
+	ex := h.Exemplars()
+	want := map[string]uint64{"1": 0xabc, "4": 0xdef, "+Inf": 0x123}
+	if len(ex) != len(want) {
+		t.Fatalf("Exemplars = %v, want %v", ex, want)
+	}
+	for le, id := range want {
+		if ex[le] != id {
+			t.Errorf("Exemplars[%q] = %x, want %x", le, ex[le], id)
+		}
+	}
+	// Latest observation into a bucket wins.
+	h.ObserveExemplar(0.7, 0x999)
+	if got := h.Exemplars()["1"]; got != 0x999 {
+		t.Errorf("latest-wins violated: bucket 1 exemplar %x, want 999", got)
+	}
+}
+
+func TestObserveExemplarZeroIDLeavesSlotEmpty(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.ObserveExemplar(0.5, 0)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if ex := h.Exemplars(); len(ex) != 0 {
+		t.Fatalf("zero trace ID must not record an exemplar: %v", ex)
+	}
+	// And must not overwrite an existing one either.
+	h.ObserveExemplar(0.5, 0x42)
+	h.ObserveExemplar(0.5, 0)
+	if got := h.Exemplars()["1"]; got != 0x42 {
+		t.Errorf("zero trace ID clobbered exemplar: %x", got)
+	}
+}
+
+func TestHistogramJSONExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("pimdl_test_exemplar_seconds", "t", []float64{1, 2})
+	plain := r.NewHistogram("pimdl_test_plain_seconds", "t", []float64{1})
+	plain.Observe(0.5)
+
+	// Without exemplars the histogram document must not carry the key.
+	snap := registryJSON(t, r)
+	doc := snap["pimdl_test_plain_seconds"].(map[string]any)
+	if _, ok := doc["exemplars"]; ok {
+		t.Error("exemplar-free histogram must encode without an exemplars key")
+	}
+
+	h.ObserveExemplar(0.5, 0x1a2b)
+	snap = registryJSON(t, r)
+	doc = snap["pimdl_test_exemplar_seconds"].(map[string]any)
+	ex, ok := doc["exemplars"].(map[string]any)
+	if !ok {
+		t.Fatalf("exemplars key missing or mistyped: %v", doc["exemplars"])
+	}
+	got, _ := ex["1"].(string)
+	if got != "0000000000001a2b" {
+		t.Errorf("exemplar = %q, want 16-hex 0000000000001a2b", got)
+	}
+	if len(got) != 16 || strings.Trim(got, "0123456789abcdef") != "" {
+		t.Errorf("exemplar %q is not 16 lowercase hex digits", got)
+	}
+}

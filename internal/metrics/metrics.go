@@ -201,12 +201,17 @@ type Histogram struct {
 	sumBits  atomic.Uint64
 	minBits  atomic.Uint64 // +Inf until first observation
 	maxBits  atomic.Uint64 // -Inf until first observation
+	// exemplars[i] is the most recent nonzero trace ID observed into
+	// bucket i (exemplars[len(bounds)] covers the overflow bucket);
+	// 0 means "no exemplar". See ObserveExemplar.
+	exemplars []atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	h := &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)),
+		exemplars: make([]atomic.Uint64, len(bounds)+1),
 	}
 	h.minBits.Store(math.Float64bits(math.Inf(1)))
 	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
@@ -241,6 +246,41 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar is Observe plus an exemplar: the trace ID of the
+// request this value came from is remembered for the bucket the value
+// lands in (latest observation wins), linking the latency distribution
+// back to a concrete request trace in the obs layer. A zero traceID
+// records the value without touching the exemplar slot — zero is the
+// "unsampled request" sentinel, and an unsampled trace ID could never
+// be resolved anyway.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(traceID)
+}
+
+// Exemplars returns the per-bucket exemplar trace IDs keyed by bucket
+// upper bound ("+Inf" for overflow), omitting empty slots. The result
+// is a fresh map the caller may keep.
+func (h *Histogram) Exemplars() map[string]uint64 {
+	out := map[string]uint64{}
+	for i := range h.exemplars {
+		id := h.exemplars[i].Load()
+		if id == 0 {
+			continue
+		}
+		label := "+Inf"
+		if i < len(h.bounds) {
+			label = formatFloat(h.bounds[i])
+		}
+		out[label] = id
+	}
+	return out
 }
 
 // Count returns the number of observations.

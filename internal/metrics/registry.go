@@ -168,7 +168,7 @@ func histogramJSON(h *Histogram) any {
 	}
 	cum += h.overflow.Load()
 	buckets["+Inf"] = cum
-	return map[string]any{
+	doc := map[string]any{
 		"count":   h.Count(),
 		"sum":     h.Sum(),
 		"min":     h.Min(),
@@ -178,6 +178,16 @@ func histogramJSON(h *Histogram) any {
 		"p95":     h.Quantile(0.95),
 		"p99":     h.Quantile(0.99),
 	}
+	// Exemplars ride along only when some observation carried one, so
+	// histograms outside the traced path encode exactly as before.
+	if ex := h.Exemplars(); len(ex) > 0 {
+		hexed := map[string]string{}
+		for le, id := range ex {
+			hexed[le] = fmt.Sprintf("%016x", id)
+		}
+		doc["exemplars"] = hexed
+	}
+	return doc
 }
 
 // CounterFamily is a set of Counters sharing one name, distinguished by

@@ -366,12 +366,21 @@ type DecodeBatch struct {
 	m        *Model
 	sessions []*DecodeSession
 
+	// traceID (0 = none) is the exemplar identity the next batched step
+	// stamps onto the pimdl_decode_batch_rows histogram — the continuous
+	// batcher sets it to a sampled member's trace before each Feed.
+	traceID uint64
+
 	// Stacked scratch, grown to the high-water batch size.
 	x, h, qkv, att, proj, inner []float32
 }
 
 // NewDecodeBatch creates an empty batch for the model.
 func NewDecodeBatch(m *Model) *DecodeBatch { return &DecodeBatch{m: m} }
+
+// SetTraceID sets the exemplar trace identity stamped onto the
+// batched-step histogram by subsequent Feed calls (0 clears it).
+func (db *DecodeBatch) SetTraceID(id uint64) { db.traceID = id }
 
 // Sessions returns the sessions currently in the batch.
 func (db *DecodeBatch) Sessions() []*DecodeSession { return db.sessions }
@@ -428,7 +437,7 @@ func (db *DecodeBatch) Feed(toks []int) error {
 		return rows[0].Feed(rowToks[0])
 	}
 	db.stepRows(rows, rowToks)
-	decodeRecordBatch(len(rows))
+	decodeRecordBatch(len(rows), db.traceID)
 	return nil
 }
 

@@ -50,10 +50,12 @@ func decodeRecordRebase(rows int) {
 	decodePrefillRows.Add(int64(rows))
 }
 
-func decodeRecordBatch(rows int) {
+func decodeRecordBatch(rows int, traceID uint64) {
 	if !metrics.Enabled() {
 		return
 	}
 	decodeBatchSteps.Inc()
-	decodeBatchRows.Observe(float64(rows))
+	// traceID (0 = none) links the bucket back to a kept request trace
+	// of the batcher driving this step.
+	decodeBatchRows.ObserveExemplar(float64(rows), traceID)
 }

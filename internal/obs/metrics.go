@@ -1,0 +1,43 @@
+package obs
+
+import "repro/internal/metrics"
+
+// Tracer self-accounting: how many spans the run opened, how traces
+// left the sampler (kept-critical, kept-sampled, dropped), and how
+// often the bounded ring had to evict. The per-tracer Stats() numbers
+// are the exact per-run view; these series are the process-wide
+// aggregate a metrics snapshot carries next to pimdl_live_*.
+var obsMetrics = struct {
+	spans     *metrics.Counter
+	traces    *metrics.CounterFamily // disposition="critical|sampled|dropped"
+	evictions *metrics.Counter
+}{}
+
+func init() {
+	r := metrics.Default()
+	m := &obsMetrics
+	m.spans = r.NewCounter("pimdl_obs_spans_total",
+		"spans opened across all tracers")
+	m.traces = r.NewCounterFamily("pimdl_obs_traces_total",
+		"finished traces by sampler disposition (critical, sampled, dropped)", "disposition")
+	m.evictions = r.NewCounter("pimdl_obs_ring_evictions_total",
+		"sampled traces evicted from a full trace ring")
+}
+
+func recordSpanStart() {
+	if metrics.Enabled() {
+		obsMetrics.spans.Inc()
+	}
+}
+
+func recordTraceFinish(disposition string) {
+	if metrics.Enabled() {
+		obsMetrics.traces.With(disposition).Inc()
+	}
+}
+
+func recordEviction() {
+	if metrics.Enabled() {
+		obsMetrics.evictions.Inc()
+	}
+}

@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ReconcileTolerance is the attribution invariant's bound: per-phase
+// seconds of a trace must sum to its recorded end-to-end latency
+// within this tolerance (the per-request analogue of PR 4's
+// "phase counters sum to Timing.Total() within 1e-9").
+const ReconcileTolerance = 1e-9
+
+// Breakdown decomposes one finished trace's lifetime into per-phase
+// seconds. Every span with a non-empty Phase contributes its duration
+// to that phase; the uncovered remainder of [Arrival, End] goes to
+// PhaseOther. By construction the values sum to the trace's latency up
+// to float addition — Reconcile pins the 1e-9 bound.
+func Breakdown(t *Trace) map[Phase]float64 {
+	if t == nil {
+		return nil
+	}
+	out := map[Phase]float64{}
+	var covered float64
+	for _, s := range t.Spans() {
+		if s.Phase == "" {
+			continue
+		}
+		d := s.Dur()
+		if d < 0 {
+			d = 0
+		}
+		out[s.Phase] += d
+		covered += d
+	}
+	if other := t.Latency() - covered; other > 0 {
+		out[PhaseOther] = other
+		//pimdl:lint-ignore float-compare exact-zero residue means full coverage and must stay absent from the map
+	} else if other != 0 {
+		// Phased spans overspent the lifetime (a runtime bug, or clock
+		// skew between stamps): surface it as negative residue rather
+		// than silently absorbing it — Reconcile will fail loudly.
+		out[PhaseOther] = other
+	}
+	return out
+}
+
+// Reconcile checks the attribution invariant for one trace: the phase
+// breakdown sums to the recorded latency within ReconcileTolerance.
+func Reconcile(t *Trace) error {
+	if t == nil {
+		return nil
+	}
+	var sum float64
+	bd := Breakdown(t)
+	if res := bd[PhaseOther]; res < -ReconcileTolerance {
+		return fmt.Errorf("obs: trace %016x phased spans overspend the lifetime by %.3gs (overlapping phases double-count)",
+			t.TraceID, -res)
+	}
+	for _, ph := range sortedPhases(bd) {
+		sum += bd[ph]
+	}
+	lat := t.Latency()
+	if d := math.Abs(sum - lat); d > ReconcileTolerance {
+		return fmt.Errorf("obs: trace %016x attribution %.12g != latency %.12g (|Δ|=%.3g > %g)",
+			t.TraceID, sum, lat, d, ReconcileTolerance)
+	}
+	return nil
+}
+
+func sortedPhases(m map[Phase]float64) []Phase {
+	out := make([]Phase, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PhaseSeconds is one phase's share of a band or request.
+type PhaseSeconds struct {
+	Phase Phase `json:"phase"`
+	// Seconds is the mean per-request seconds in this phase; Share its
+	// fraction of the band's mean latency.
+	Seconds float64 `json:"seconds"`
+	Share   float64 `json:"share"`
+}
+
+// Band is one percentile slice of the served-latency distribution.
+type Band struct {
+	// Lo / Hi are percentile bounds, 0 ≤ Lo < Hi ≤ 100.
+	Lo, Hi float64
+}
+
+func (b Band) String() string { return fmt.Sprintf("p%g-p%g", b.Lo, b.Hi) }
+
+// DefaultBands are the attribution report's percentile slices: body,
+// upper body, tail, extreme tail.
+var DefaultBands = []Band{{0, 50}, {50, 90}, {90, 99}, {99, 100}}
+
+// BandReport is the per-phase blame of one percentile band.
+type BandReport struct {
+	Band string `json:"band"`
+	// Requests is how many sampled completions fell in the band;
+	// MeanLatency / MaxLatency their latency statistics.
+	Requests    int     `json:"requests"`
+	MeanLatency float64 `json:"mean_latency"`
+	MaxLatency  float64 `json:"max_latency"`
+	// Phases is the mean per-phase decomposition, sorted by phase name.
+	Phases []PhaseSeconds `json:"phases"`
+	// Retries / DMARetries / Failovers / HostAttempts aggregate the
+	// band's span attributes — the count-valued blame next to the
+	// seconds-valued one.
+	Retries      int `json:"retries"`
+	DMARetries   int `json:"dma_retries"`
+	Failovers    int `json:"failovers"`
+	HostAttempts int `json:"host_attempts"`
+}
+
+// SlowRequest is one row of the top-K slowest table.
+type SlowRequest struct {
+	TraceID string  `json:"trace_id"`
+	ReqID   int64   `json:"req_id"`
+	Outcome string  `json:"outcome"`
+	Arrival float64 `json:"arrival"`
+	Latency float64 `json:"latency"`
+	// Phases is the request's own decomposition, sorted by phase name.
+	Phases []PhaseSeconds `json:"phases"`
+	// Attempts / Backend summarize how the request was served.
+	Attempts int    `json:"attempts"`
+	Backend  string `json:"backend"`
+}
+
+// Report is the tail-latency attribution report of one run.
+type Report struct {
+	// Sampled / Critical count the kept traces; Completed those with a
+	// served or degraded outcome (the latency population).
+	Sampled   int `json:"sampled"`
+	Critical  int `json:"critical"`
+	Completed int `json:"completed"`
+	// Outcomes counts kept traces per terminal outcome, sorted by key
+	// at encode time via the ordered slice below.
+	Outcomes []OutcomeCount `json:"outcomes"`
+	// Bands is the percentile-band decomposition over completions.
+	Bands []BandReport `json:"bands"`
+	// Slowest is the top-K slowest completions.
+	Slowest []SlowRequest `json:"slowest"`
+}
+
+// OutcomeCount is one outcome's kept-trace count.
+type OutcomeCount struct {
+	Outcome string `json:"outcome"`
+	Count   int    `json:"count"`
+}
+
+// completedOutcome reports whether an outcome carries an end-to-end
+// latency (mirrors live.Record.Latency's served/degraded rule).
+func completedOutcome(o string) bool { return o == "served" || o == "degraded" }
+
+// attemptStats extracts count-valued blame from a trace's span attrs.
+func attemptStats(t *Trace) (attempts, dmaRetries, failovers, hostAttempts int, backend string) {
+	for _, s := range t.Spans() {
+		isAttempt := s.Name == "attempt"
+		if !isAttempt && s.Phase != PhaseHost && s.Phase != PhasePIM && s.Phase != PhaseRetry {
+			continue
+		}
+		for _, a := range s.Attrs {
+			switch a.Key {
+			case "attempt":
+				attempts++
+			case "dma_retries":
+				dmaRetries += int(a.I)
+			case "failovers":
+				failovers += int(a.I)
+			case "backend":
+				backend = a.S
+				if a.S == "host" {
+					hostAttempts++
+				}
+			}
+		}
+	}
+	return
+}
+
+// BuildReport computes the attribution report over the tracer's kept
+// traces: per-band per-phase blame across the given percentile bands
+// (DefaultBands when nil) and the topK slowest completions. Every
+// trace must reconcile; the first violation aborts with its error, so
+// a report in hand is also a proof of the invariant.
+func BuildReport(tc *Tracer, bands []Band, topK int) (*Report, error) {
+	if len(bands) == 0 {
+		bands = DefaultBands
+	}
+	for i, b := range bands {
+		if b.Lo < 0 || b.Hi > 100 || b.Lo >= b.Hi {
+			return nil, fmt.Errorf("obs: band %d [%g, %g] outside 0 ≤ lo < hi ≤ 100", i, b.Lo, b.Hi)
+		}
+	}
+	if topK < 0 {
+		return nil, fmt.Errorf("obs: topK %d must be non-negative", topK)
+	}
+	traces := tc.Traces()
+	rep := &Report{Sampled: len(traces)}
+
+	outcomes := map[string]int{}
+	var completed []*Trace
+	for _, t := range traces {
+		if err := Reconcile(t); err != nil {
+			return nil, err
+		}
+		outcomes[t.Outcome()]++
+		if t.Critical() {
+			rep.Critical++
+		}
+		if completedOutcome(t.Outcome()) {
+			completed = append(completed, t)
+		}
+	}
+	for _, o := range sortedKeys(outcomes) {
+		rep.Outcomes = append(rep.Outcomes, OutcomeCount{Outcome: o, Count: outcomes[o]})
+	}
+	rep.Completed = len(completed)
+
+	// Latency-ascending order defines the percentile bands; ties break
+	// by request ID so the report is deterministic.
+	sort.SliceStable(completed, func(i, j int) bool {
+		li, lj := completed[i].Latency(), completed[j].Latency()
+		//pimdl:lint-ignore float-compare sort tie-break; equal latencies fall through to the ID order
+		if li != lj {
+			return li < lj
+		}
+		return completed[i].ReqID < completed[j].ReqID
+	})
+	n := len(completed)
+	for _, b := range bands {
+		lo := int(math.Ceil(b.Lo / 100 * float64(n)))
+		hi := int(math.Ceil(b.Hi / 100 * float64(n)))
+		if hi > n {
+			hi = n
+		}
+		br := BandReport{Band: b.String()}
+		if lo >= hi {
+			rep.Bands = append(rep.Bands, br)
+			continue
+		}
+		slice := completed[lo:hi]
+		br.Requests = len(slice)
+		phaseSum := map[Phase]float64{}
+		var latSum float64
+		for _, t := range slice {
+			lat := t.Latency()
+			latSum += lat
+			if lat > br.MaxLatency {
+				br.MaxLatency = lat
+			}
+			for ph, secs := range Breakdown(t) {
+				phaseSum[ph] += secs
+			}
+			att, dma, fo, host, _ := attemptStats(t)
+			br.Retries += max(0, att-1)
+			br.DMARetries += dma
+			br.Failovers += fo
+			br.HostAttempts += host
+		}
+		br.MeanLatency = latSum / float64(len(slice))
+		for _, ph := range sortedPhases(phaseSum) {
+			mean := phaseSum[ph] / float64(len(slice))
+			share := 0.0
+			if br.MeanLatency > 0 {
+				share = mean / br.MeanLatency
+			}
+			br.Phases = append(br.Phases, PhaseSeconds{Phase: ph, Seconds: mean, Share: share})
+		}
+		rep.Bands = append(rep.Bands, br)
+	}
+
+	// Top-K slowest, latency-descending.
+	for i := n - 1; i >= 0 && len(rep.Slowest) < topK; i-- {
+		t := completed[i]
+		sr := SlowRequest{
+			TraceID: fmt.Sprintf("%016x", t.TraceID),
+			ReqID:   t.ReqID,
+			Outcome: t.Outcome(),
+			Arrival: t.Arrival,
+			Latency: t.Latency(),
+		}
+		bd := Breakdown(t)
+		for _, ph := range sortedPhases(bd) {
+			share := 0.0
+			if sr.Latency > 0 {
+				share = bd[ph] / sr.Latency
+			}
+			sr.Phases = append(sr.Phases, PhaseSeconds{Phase: ph, Seconds: bd[ph], Share: share})
+		}
+		att, _, _, _, backend := attemptStats(t)
+		sr.Attempts = att
+		sr.Backend = backend
+		rep.Slowest = append(rep.Slowest, sr)
+	}
+	return rep, nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

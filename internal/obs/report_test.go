@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mkTrace builds a finished trace with a queue/batch/pim decomposition
+// that covers [arrival, arrival+lat] with a small PhaseOther gap.
+func mkTrace(t *testing.T, tc *Tracer, id int64, arrival, lat float64, critical bool, outcome string) *Trace {
+	t.Helper()
+	tr := tc.Start(id, arrival)
+	if tr == nil {
+		t.Fatal("Start returned nil")
+	}
+	q := tr.StartSpan(0, "queue", PhaseQueue, arrival)
+	tr.EndSpan(q, arrival+0.4*lat)
+	b := tr.StartSpan(0, "batch", PhaseBatch, arrival+0.4*lat)
+	tr.EndSpan(b, arrival+0.5*lat)
+	att := tr.StartSpan(0, "attempt", "", arrival+0.5*lat)
+	tr.Annotate(att, Int("attempt", 0), Str("backend", "pim"), Int("dma_retries", 2), Int("failovers", 1))
+	p := tr.StartSpan(att, "execute", PhasePIM, arrival+0.5*lat)
+	tr.EndSpan(p, arrival+0.9*lat)
+	tr.EndSpan(att, arrival+0.9*lat)
+	tc.Finish(tr, outcome, arrival+lat, critical)
+	return tr
+}
+
+func TestBreakdownAndReconcile(t *testing.T) {
+	tc := newTestTracer(t, Config{Capacity: 8, SampleRate: 1, Seed: 5})
+	tr := mkTrace(t, tc, 1, 2.0, 1.0, false, "served")
+	bd := Breakdown(tr)
+	want := map[Phase]float64{PhaseQueue: 0.4, PhaseBatch: 0.1, PhasePIM: 0.4, PhaseOther: 0.1}
+	for ph, w := range want {
+		if math.Abs(bd[ph]-w) > 1e-9 {
+			t.Errorf("Breakdown[%s] = %g, want %g", ph, bd[ph], w)
+		}
+	}
+	if len(bd) != len(want) {
+		t.Errorf("Breakdown has %d phases %v, want %d", len(bd), bd, len(want))
+	}
+	if err := Reconcile(tr); err != nil {
+		t.Errorf("Reconcile: %v", err)
+	}
+	if Breakdown(nil) != nil {
+		t.Error("Breakdown(nil) must be nil")
+	}
+	if err := Reconcile(nil); err != nil {
+		t.Errorf("Reconcile(nil): %v", err)
+	}
+}
+
+func TestReconcileDetectsOverspend(t *testing.T) {
+	tc := newTestTracer(t, Config{Capacity: 8, SampleRate: 1, Seed: 5})
+	tr := tc.Start(1, 0)
+	// Two overlapping phased spans double-count and overspend the 1s
+	// lifetime: the invariant must fail loudly.
+	a := tr.StartSpan(0, "a", PhaseQueue, 0)
+	tr.EndSpan(a, 0.9)
+	b := tr.StartSpan(0, "b", PhasePIM, 0)
+	tr.EndSpan(b, 0.9)
+	tc.Finish(tr, "served", 1, false)
+	if err := Reconcile(tr); err == nil {
+		t.Fatal("Reconcile must reject overlapping phase coverage")
+	}
+}
+
+func TestBuildReportBandsAndSlowest(t *testing.T) {
+	tc := newTestTracer(t, Config{Capacity: 128, SampleRate: 1, Seed: 7})
+	// 100 completions with latencies 0.01..1.00 — percentile bands are
+	// exact slices — plus two critical non-completions.
+	for i := int64(1); i <= 100; i++ {
+		mkTrace(t, tc, i, float64(i), float64(i)*0.01, false, "served")
+	}
+	sh := tc.Start(200, 0)
+	tc.Finish(sh, "shed", 0, true)
+	to := tc.Start(201, 0)
+	tc.Finish(to, "timeout", 5, true)
+
+	rep, err := BuildReport(tc, nil, 3)
+	if err != nil {
+		t.Fatalf("BuildReport: %v", err)
+	}
+	if rep.Sampled != 102 || rep.Critical != 2 || rep.Completed != 100 {
+		t.Fatalf("counts = %d/%d/%d, want 102/2/100", rep.Sampled, rep.Critical, rep.Completed)
+	}
+	wantOutcomes := map[string]int{"served": 100, "shed": 1, "timeout": 1}
+	if len(rep.Outcomes) != 3 {
+		t.Fatalf("Outcomes = %+v", rep.Outcomes)
+	}
+	for _, oc := range rep.Outcomes {
+		if wantOutcomes[oc.Outcome] != oc.Count {
+			t.Errorf("outcome %q count %d, want %d", oc.Outcome, oc.Count, wantOutcomes[oc.Outcome])
+		}
+	}
+	if len(rep.Bands) != len(DefaultBands) {
+		t.Fatalf("got %d bands, want %d", len(rep.Bands), len(DefaultBands))
+	}
+	wantReq := []int{50, 40, 9, 1}
+	for i, br := range rep.Bands {
+		if br.Requests != wantReq[i] {
+			t.Errorf("band %s requests = %d, want %d", br.Band, br.Requests, wantReq[i])
+		}
+		// Phase shares of each band must sum to ~1 of its mean latency.
+		var share float64
+		for _, ps := range br.Phases {
+			share += ps.Share
+		}
+		if br.Requests > 0 && math.Abs(share-1) > 1e-9 {
+			t.Errorf("band %s phase shares sum to %g", br.Band, share)
+		}
+	}
+	// Extreme tail band is exactly the slowest request.
+	tail := rep.Bands[3]
+	if math.Abs(tail.MeanLatency-1.0) > 1e-9 || math.Abs(tail.MaxLatency-1.0) > 1e-9 {
+		t.Errorf("p99-p100 latency = (%g, %g), want (1, 1)", tail.MeanLatency, tail.MaxLatency)
+	}
+	// mkTrace annotates 1 attempt / 2 dma retries / 1 failover per trace.
+	if tail.Retries != 0 || tail.DMARetries != 2 || tail.Failovers != 1 || tail.HostAttempts != 0 {
+		t.Errorf("tail blame = %+v", tail)
+	}
+	if len(rep.Slowest) != 3 {
+		t.Fatalf("got %d slowest rows, want 3", len(rep.Slowest))
+	}
+	if rep.Slowest[0].ReqID != 100 || rep.Slowest[1].ReqID != 99 || rep.Slowest[2].ReqID != 98 {
+		t.Errorf("slowest order = %d, %d, %d", rep.Slowest[0].ReqID, rep.Slowest[1].ReqID, rep.Slowest[2].ReqID)
+	}
+	top := rep.Slowest[0]
+	if top.Attempts != 1 || top.Backend != "pim" || top.Outcome != "served" {
+		t.Errorf("top slow row = %+v", top)
+	}
+	if len(top.TraceID) != 16 || strings.Trim(top.TraceID, "0123456789abcdef") != "" {
+		t.Errorf("TraceID %q is not 16 hex digits", top.TraceID)
+	}
+}
+
+func TestBuildReportValidation(t *testing.T) {
+	tc := newTestTracer(t, Config{Capacity: 8, SampleRate: 1, Seed: 1})
+	if _, err := BuildReport(tc, []Band{{-1, 50}}, 0); err == nil {
+		t.Error("negative band lo must be rejected")
+	}
+	if _, err := BuildReport(tc, []Band{{0, 101}}, 0); err == nil {
+		t.Error("band hi > 100 must be rejected")
+	}
+	if _, err := BuildReport(tc, []Band{{50, 50}}, 0); err == nil {
+		t.Error("empty band must be rejected")
+	}
+	if _, err := BuildReport(tc, nil, -1); err == nil {
+		t.Error("negative topK must be rejected")
+	}
+	// Empty tracer: a valid, empty report.
+	rep, err := BuildReport(tc, nil, 5)
+	if err != nil {
+		t.Fatalf("empty BuildReport: %v", err)
+	}
+	if rep.Sampled != 0 || rep.Completed != 0 || len(rep.Slowest) != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+	for _, br := range rep.Bands {
+		if br.Requests != 0 {
+			t.Errorf("empty band %s has %d requests", br.Band, br.Requests)
+		}
+	}
+}
+
+func TestBuildReportAbortsOnReconcileViolation(t *testing.T) {
+	tc := newTestTracer(t, Config{Capacity: 8, SampleRate: 1, Seed: 1})
+	tr := tc.Start(1, 0)
+	a := tr.StartSpan(0, "a", PhaseQueue, 0)
+	tr.EndSpan(a, 2) // phase exceeds the 1s lifetime
+	tc.Finish(tr, "served", 1, false)
+	if _, err := BuildReport(tc, nil, 0); err == nil {
+		t.Fatal("BuildReport must surface reconciliation violations")
+	}
+}

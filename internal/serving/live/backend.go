@@ -5,9 +5,18 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/serving"
 )
+
+// SubPhase is one modelled sub-segment of an attempt's latency, used to
+// split a successful attempt's span into finer phases (the sharded
+// cluster's broadcast / shard busy / gather decomposition).
+type SubPhase struct {
+	Phase obs.Phase
+	Dur   float64
+}
 
 // Outcome is the result of one batch execution attempt.
 type Outcome struct {
@@ -32,6 +41,11 @@ type Outcome struct {
 	// sharded PIM attempt (zero for single-array and host backends).
 	Failovers  int
 	LiveShards int
+	// SubPhases optionally decomposes Latency into consecutive modelled
+	// segments (the tracer scales them onto the measured attempt span,
+	// with the last segment taking the exact remainder). Empty means the
+	// whole attempt is one phase, picked by Backend.
+	SubPhases []SubPhase
 }
 
 // Backend executes one batch attempt and reports its modelled latency

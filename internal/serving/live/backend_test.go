@@ -1,6 +1,7 @@
 package live
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/pim"
@@ -125,10 +126,10 @@ func TestPIMBackendDeterministicSequence(t *testing.T) {
 	var prev Outcome
 	for i := 0; i < 6; i++ {
 		oa, ob := a.Execute(8, 8), b.Execute(8, 8)
-		if oa != ob {
+		if !reflect.DeepEqual(oa, ob) {
 			t.Fatalf("attempt %d diverged: %+v vs %+v", i, oa, ob)
 		}
-		if i > 0 && oa != prev {
+		if i > 0 && !reflect.DeepEqual(oa, prev) {
 			varied = true
 		}
 		prev = oa

@@ -3,8 +3,11 @@ package live
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -25,7 +28,23 @@ type DecodeServer struct {
 	cfg   DecodeConfig
 	queue chan *DecodeJob
 	g     parallel.Group
+
+	// Tracing (optional): decode traces run on a process-relative
+	// monotonic clock in seconds — generation is real compute, not a
+	// simulated timeline, so there is no virtual clock to share.
+	tracer *obs.Tracer
+	epoch  time.Time
+	ids    atomic.Int64
 }
+
+// SetTracer attaches a span tracer; must be called before the first
+// Submit. Each job becomes one trace: queue (waiting for a batch slot)
+// → decode_prefill (KV-cache prefill of the prompt) → one decode_step
+// span per batched token step.
+func (s *DecodeServer) SetTracer(tc *obs.Tracer) { s.tracer = tc }
+
+// now is the trace clock: seconds since the server was built.
+func (s *DecodeServer) now() float64 { return time.Since(s.epoch).Seconds() }
 
 // DecodeConfig parameterizes a DecodeServer.
 type DecodeConfig struct {
@@ -59,6 +78,10 @@ type DecodeJob struct {
 	out  []int
 	err  error
 	done chan struct{}
+
+	id   int64
+	tr   *obs.Trace
+	span obs.SpanID // open phase span; only the owning goroutine touches it
 }
 
 // Wait blocks until the job finishes and returns its generated tokens.
@@ -77,7 +100,7 @@ func NewDecodeServer(m *nn.Model, cfg DecodeConfig) (*DecodeServer, error) {
 	if m == nil {
 		return nil, fmt.Errorf("live: decode server needs a model")
 	}
-	s := &DecodeServer{m: m, cfg: cfg, queue: make(chan *DecodeJob, cfg.QueueCap)}
+	s := &DecodeServer{m: m, cfg: cfg, queue: make(chan *DecodeJob, cfg.QueueCap), epoch: time.Now()}
 	s.g.Go(s.stepLoop)
 	return s, nil
 }
@@ -96,6 +119,12 @@ func (s *DecodeServer) Submit(prompt []int, steps int, temperature float64, seed
 	}
 	if temperature > 0 {
 		j.rng = rand.New(rand.NewSource(seed))
+	}
+	j.id = s.ids.Add(1)
+	j.span = obs.NoSpan
+	j.tr = s.tracer.Start(j.id, s.now())
+	if j.tr != nil {
+		j.span = j.tr.StartSpan(0, "queue", obs.PhaseQueue, j.tr.Arrival)
 	}
 	s.queue <- j
 	return j
@@ -120,6 +149,22 @@ func (j *DecodeJob) finish(err error) {
 	close(j.done)
 }
 
+// finishJob seals the job's trace (failures are critical — always kept)
+// and moves it to its terminal state.
+func (s *DecodeServer) finishJob(j *DecodeJob, err error) {
+	if j.tr != nil {
+		now := s.now()
+		j.tr.EndSpan(j.span, now)
+		j.span = obs.NoSpan
+		outcome, critical := "served", false
+		if err != nil {
+			outcome, critical = "failed", true
+		}
+		s.tracer.Finish(j.tr, outcome, now, critical)
+	}
+	j.finish(err)
+}
+
 // stepLoop is the continuous decode batcher: each iteration admits
 // waiting jobs up to MaxBatch, picks one token per active job, retires
 // jobs that reached their budget BEFORE the batched feed (a finished
@@ -141,7 +186,7 @@ func (s *DecodeServer) stepLoop() {
 		for _, j := range active {
 			j.out = append(j.out, j.sess.Pick(j.temperature, j.rng))
 			if len(j.out) >= j.steps {
-				j.finish(nil)
+				s.finishJob(j, nil)
 				continue
 			}
 			survivors = append(survivors, j)
@@ -151,6 +196,27 @@ func (s *DecodeServer) stepLoop() {
 		if len(active) == 0 {
 			continue
 		}
+
+		// One decode_step span per surviving member covers this batched
+		// token step; the first sampling-eligible member's trace becomes
+		// the batched-step histogram's exemplar.
+		var exemplar uint64
+		var stepStart float64
+		traced := false
+		for _, j := range active {
+			if j.tr == nil {
+				continue
+			}
+			if !traced {
+				traced = true
+				stepStart = s.now()
+			}
+			j.span = j.tr.StartSpan(0, "step", obs.PhaseDecodeStep, stepStart)
+			if exemplar == 0 && s.tracer.WouldSample(j.tr.TraceID) {
+				exemplar = j.tr.TraceID
+			}
+		}
+		db.SetTraceID(exemplar)
 
 		sessions := make([]*nn.DecodeSession, len(active))
 		for i, j := range active {
@@ -167,6 +233,16 @@ func (s *DecodeServer) stepLoop() {
 			// surface it on every member rather than guessing a culprit.
 			s.fail(active, err)
 			active = active[:0]
+			continue
+		}
+		if traced {
+			end := s.now()
+			for _, j := range active {
+				if j.tr != nil {
+					j.tr.EndSpan(j.span, end)
+					j.span = obs.NoSpan
+				}
+			}
 		}
 	}
 }
@@ -192,13 +268,23 @@ func (s *DecodeServer) admit(active []*DecodeJob, open bool) ([]*DecodeJob, bool
 			return active, false
 		}
 		if j.steps <= 0 {
-			j.finish(nil)
+			s.finishJob(j, nil)
 			continue
+		}
+		if j.tr != nil {
+			// Admission: the queue wait is over, the prompt prefill begins.
+			now := s.now()
+			j.tr.EndSpan(j.span, now)
+			j.span = j.tr.StartSpan(0, "prefill", obs.PhaseDecodePrefill, now)
 		}
 		sess, err := nn.NewDecodeSession(s.m, j.prompt)
 		if err != nil {
-			j.finish(err)
+			s.finishJob(j, err)
 			continue
+		}
+		if j.tr != nil {
+			j.tr.EndSpan(j.span, s.now())
+			j.span = obs.NoSpan
 		}
 		j.sess = sess
 		active = append(active, j)
@@ -209,6 +295,6 @@ func (s *DecodeServer) admit(active []*DecodeJob, open bool) ([]*DecodeJob, bool
 // fail finishes every job with err.
 func (s *DecodeServer) fail(jobs []*DecodeJob, err error) {
 	for _, j := range jobs {
-		j.finish(err)
+		s.finishJob(j, err)
 	}
 }

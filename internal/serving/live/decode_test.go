@@ -1,11 +1,16 @@
 package live
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"strconv"
 	"sync"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 func decodeModel(t *testing.T) *nn.Model {
@@ -139,4 +144,108 @@ func TestDecodeServerBadJobs(t *testing.T) {
 	if _, err := NewDecodeServer(nil, DecodeConfig{MaxBatch: 1, QueueCap: 1}); err == nil {
 		t.Fatal("nil model accepted")
 	}
+}
+
+// TestDecodeServerTracing: each generation job becomes one trace —
+// queue → decode_prefill → one decode_step per batched token — that
+// reconciles on the wall clock, failures are kept as critical traces,
+// and the batched-step histogram's exemplars resolve against the ring.
+func TestDecodeServerTracing(t *testing.T) {
+	m := decodeModel(t)
+	s, err := NewDecodeServer(m, DecodeConfig{MaxBatch: 3, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := detTracer(t, 256)
+	s.SetTracer(tc)
+
+	before := decodeBatchExemplars(t)
+	jobs := []*DecodeJob{
+		s.Submit([]int{1, 2}, 10, 0, 0),
+		s.Submit([]int{3}, 6, 0.8, 42),
+		s.Submit(nil, 4, 0, 0), // empty prompt: session build fails
+		s.Submit([]int{4, 5, 6}, 1, 0, 0),
+	}
+	for _, j := range jobs {
+		j.Wait() //nolint:errcheck — per-job errors asserted via traces below
+	}
+	s.Close()
+
+	st := tc.Stats()
+	if st.Started != 4 || st.Finished != 4 {
+		t.Fatalf("tracer saw %d started / %d finished traces for 4 jobs", st.Started, st.Finished)
+	}
+	traces := tc.Traces()
+	if len(traces) != 4 {
+		t.Fatalf("ring kept %d traces, want 4 at SampleRate 1", len(traces))
+	}
+	phases := map[obs.Phase]bool{}
+	failed := 0
+	for _, tr := range traces {
+		if err := obs.Reconcile(tr); err != nil {
+			t.Fatal(err)
+		}
+		for ph, secs := range obs.Breakdown(tr) {
+			if secs > 0 {
+				phases[ph] = true
+			}
+		}
+		if tr.Outcome() == "failed" {
+			failed++
+			if !tr.Critical() {
+				t.Error("failed decode trace not marked critical")
+			}
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d failed traces, want exactly the bad-prompt job", failed)
+	}
+	for _, ph := range []obs.Phase{obs.PhaseQueue, obs.PhaseDecodePrefill, obs.PhaseDecodeStep} {
+		if !phases[ph] {
+			t.Errorf("no trace attributed %s time", ph)
+		}
+	}
+
+	// Exemplar resolution: slots this run wrote must link to kept traces.
+	if metrics.Enabled() {
+		changed := 0
+		for bucket, id := range decodeBatchExemplars(t) {
+			if before[bucket] == id {
+				continue
+			}
+			changed++
+			if tc.Lookup(id) == nil {
+				t.Errorf("decode batch bucket %s exemplar %016x does not resolve", bucket, id)
+			}
+		}
+		if changed == 0 {
+			t.Error("batched decode steps wrote no exemplars")
+		}
+	}
+}
+
+// decodeBatchExemplars reads pimdl_decode_batch_rows' exemplar slots
+// out of the default registry's JSON exposition (the histogram itself
+// is private to package nn).
+func decodeBatchExemplars(t *testing.T) map[string]uint64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := metrics.Default().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]uint64{}
+	hist, _ := doc["pimdl_decode_batch_rows"].(map[string]any)
+	ex, _ := hist["exemplars"].(map[string]any)
+	for bucket, v := range ex {
+		id, err := strconv.ParseUint(v.(string), 16, 64)
+		if err != nil {
+			t.Fatalf("exemplar %v: %v", v, err)
+		}
+		out[bucket] = id
+	}
+	return out
 }

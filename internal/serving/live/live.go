@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/serving"
 )
@@ -116,6 +117,12 @@ type Request struct {
 	Kind, Rows int
 	// Arrival is the virtual submit time (stamped by Submit).
 	Arrival float64
+
+	// tr / span carry the request's span trace and its currently open
+	// phase span (nil / NoSpan when tracing is off). Only the goroutine
+	// that currently owns the request touches span.
+	tr   *obs.Trace
+	span obs.SpanID
 }
 
 // Server is the live serving runtime. Lifecycle: NewServer → Start →
@@ -128,6 +135,7 @@ type Server struct {
 	hostBE  Backend
 	breaker *Breaker
 	rec     *Recorder
+	tracer  *obs.Tracer
 
 	queue   chan *Request
 	degrade chan *Request
@@ -182,6 +190,13 @@ func NewServer(cfg Config, clock *ScaledClock, pimBE, hostBE Backend) (*Server, 
 // Recorder returns the run's terminal sink.
 func (s *Server) Recorder() *Recorder { return s.rec }
 
+// SetTracer attaches a span tracer to the server. Must be called before
+// Start; a nil tracer (the default) records nothing.
+func (s *Server) SetTracer(tc *obs.Tracer) { s.tracer = tc }
+
+// Tracer returns the attached span tracer (nil when tracing is off).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 // Breaker returns the circuit breaker (disabled breakers report
 // BreakerClosed forever).
 func (s *Server) Breaker() *Breaker { return s.breaker }
@@ -210,7 +225,13 @@ func (s *Server) Submit(kind, rows int) bool {
 		rows = 1
 	}
 	r := &Request{ID: s.idSeq.Add(1), Kind: kind, Rows: rows, Arrival: s.clock.Now()}
+	traceSubmit(s.tracer, r)
 	recordSubmit()
+	shed := func() {
+		tid := traceTerminal(s.tracer, r, OutcomeShedQueue.String(), r.Arrival, true)
+		s.rec.Add(Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival,
+			Outcome: OutcomeShedQueue, TraceID: tid})
+	}
 	switch s.cfg.Shed {
 	case ShedBlock:
 		s.queue <- r
@@ -218,7 +239,7 @@ func (s *Server) Submit(kind, rows int) bool {
 		select {
 		case s.queue <- r:
 		default:
-			s.rec.Add(Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival, Outcome: OutcomeShedQueue})
+			shed()
 			return false
 		}
 	case ShedDegrade:
@@ -228,7 +249,7 @@ func (s *Server) Submit(kind, rows int) bool {
 			select {
 			case s.degrade <- r:
 			default:
-				s.rec.Add(Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival, Outcome: OutcomeShedQueue})
+				shed()
 				return false
 			}
 		}
@@ -264,6 +285,7 @@ func (s *Server) dispatchLoop() {
 			if !ok {
 				return
 			}
+			tracePickup(r, s.clock.Now())
 			first = r
 		}
 		batch, leftover := s.fill(first)
@@ -285,11 +307,16 @@ func (s *Server) shedAndTopUp(batch []*Request, leftover *Request) ([]*Request, 
 	deadline := s.cfg.Robust.Deadline
 	expired := func(r *Request) bool { return deadline > 0 && now >= r.Arrival+deadline }
 
+	timeout := func(r *Request) {
+		tid := traceTerminal(s.tracer, r, OutcomeTimeout.String(), now, true)
+		s.rec.Add(Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival,
+			Outcome: OutcomeTimeout, TraceID: tid})
+	}
 	kept := batch[:0]
 	rows := 0
 	for _, r := range batch {
 		if expired(r) {
-			s.rec.Add(Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival, Outcome: OutcomeTimeout})
+			timeout(r)
 			continue
 		}
 		kept = append(kept, r)
@@ -307,9 +334,10 @@ func (s *Server) shedAndTopUp(batch []*Request, leftover *Request) ([]*Request, 
 			return kept, nil
 		}
 		if expired(r) {
-			s.rec.Add(Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival, Outcome: OutcomeTimeout})
+			timeout(r)
 			continue
 		}
+		tracePickup(r, now)
 		if s.cfg.MaxBatchRows > 0 && rows+r.Rows > s.cfg.MaxBatchRows {
 			leftover = r
 			break
@@ -351,6 +379,7 @@ func (s *Server) fill(first *Request) (batch []*Request, leftover *Request) {
 		if !ok {
 			return batch, nil
 		}
+		tracePickup(r, s.clock.Now())
 		if s.cfg.MaxBatchRows > 0 && rows+r.Rows > s.cfg.MaxBatchRows {
 			return batch, r
 		}
@@ -371,16 +400,20 @@ func (s *Server) executeBatch(batch []*Request) {
 	for _, r := range batch {
 		rows += r.Rows
 	}
+	traceDispatch(batch, now)
 	br := BatchRecord{Start: now, Size: len(batch), Rows: rows}
 	for attempt := 0; ; attempt++ {
+		attStart := s.clock.Now()
 		be, viaPIM := s.routeAttempt()
 		out := be.Execute(len(batch), rows)
 		if out.Latency > 0 {
 			s.clock.Sleep(out.Latency)
 		}
+		attEnd := s.clock.Now()
 		if viaPIM {
-			s.breaker.Record(s.clock.Now(), out.OK)
+			s.breaker.Record(attEnd, out.OK)
 		}
+		traceAttempt(batch, attempt, out, attStart, attEnd)
 		br.Attempts++
 		br.AttemptDurs = append(br.AttemptDurs, out.Latency)
 		br.Backends = append(br.Backends, out.Backend)
@@ -391,31 +424,43 @@ func (s *Server) executeBatch(batch []*Request) {
 		}
 		recordAttempt(out, attempt)
 		if out.OK {
-			done := s.clock.Now()
+			done := attEnd
 			br.Done = done
-			for _, r := range batch {
+			tids := make([]uint64, len(batch))
+			for i, r := range batch {
 				rec := Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival,
 					Outcome: OutcomeServed, Start: br.Start, Done: done,
 					Batch: len(batch), Backend: out.Backend}
 				if rob.Deadline > 0 && done > r.Arrival+rob.Deadline {
 					rec.Expired = true
 				}
+				// Deadline-missed completions are an always-on trace class.
+				rec.TraceID = traceTerminal(s.tracer, r, OutcomeServed.String(), done, rec.Expired)
+				tids[i] = rec.TraceID
 				s.rec.Add(rec)
 			}
+			br.TraceID = batchTraceID(tids)
 			s.rec.AddBatch(br)
 			return
 		}
 		if attempt >= rob.MaxRetries {
-			br.Done = s.clock.Now()
+			done := attEnd
+			br.Done = done
 			br.Failed = true
-			for _, r := range batch {
-				s.rec.Add(Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival, Outcome: OutcomeFailed})
+			tids := make([]uint64, len(batch))
+			for i, r := range batch {
+				tid := traceTerminal(s.tracer, r, OutcomeFailed.String(), done, true)
+				tids[i] = tid
+				s.rec.Add(Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival,
+					Outcome: OutcomeFailed, TraceID: tid})
 			}
+			br.TraceID = batchTraceID(tids)
 			s.rec.AddBatch(br)
 			return
 		}
 		if rob.Backoff > 0 {
 			s.clock.Sleep(rob.Backoff * math.Pow(2, float64(attempt)))
+			traceBackoff(batch, attEnd, s.clock.Now())
 		}
 	}
 }
@@ -437,7 +482,9 @@ func (s *Server) degradeLoop() {
 	for r := range s.degrade {
 		now := s.clock.Now()
 		if d := s.cfg.Robust.Deadline; d > 0 && now >= r.Arrival+d {
-			s.rec.Add(Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival, Outcome: OutcomeTimeout})
+			tid := traceTerminal(s.tracer, r, OutcomeTimeout.String(), now, true)
+			s.rec.Add(Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival,
+				Outcome: OutcomeTimeout, TraceID: tid})
 			continue
 		}
 		out := s.hostBE.Execute(1, r.Rows)
@@ -445,11 +492,13 @@ func (s *Server) degradeLoop() {
 			s.clock.Sleep(out.Latency)
 		}
 		done := s.clock.Now()
+		traceDegrade(r, out, now, done)
 		rec := Record{ID: r.ID, Kind: r.Kind, Rows: r.Rows, Arrival: r.Arrival,
 			Outcome: OutcomeDegraded, Start: now, Done: done, Batch: 1, Backend: out.Backend}
 		if d := s.cfg.Robust.Deadline; d > 0 && done > r.Arrival+d {
 			rec.Expired = true
 		}
+		rec.TraceID = traceTerminal(s.tracer, r, OutcomeDegraded.String(), done, rec.Expired)
 		s.rec.Add(rec)
 	}
 }

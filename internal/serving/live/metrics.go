@@ -80,7 +80,9 @@ func recordOutcome(rec Record) {
 		m.expired.Inc()
 	}
 	if rec.Outcome == OutcomeServed || rec.Outcome == OutcomeDegraded {
-		m.latency.Observe(rec.Latency())
+		// The trace ID (0 when unsampled) links the latency bucket back
+		// to a kept request trace.
+		m.latency.ObserveExemplar(rec.Latency(), rec.TraceID)
 	}
 }
 
@@ -89,7 +91,7 @@ func recordBatchExec(br BatchRecord) {
 	if !metrics.Enabled() {
 		return
 	}
-	liveMetrics.batchSize.Observe(float64(br.Size))
+	liveMetrics.batchSize.ObserveExemplar(float64(br.Size), br.TraceID)
 }
 
 // recordAttempt folds one batch execution attempt.

@@ -58,6 +58,9 @@ type Record struct {
 	Backend     string
 	// Expired marks a request served past its deadline.
 	Expired bool
+	// TraceID links the record to its kept span trace in the obs layer;
+	// 0 means the trace was not sampled (or tracing was off).
+	TraceID uint64
 }
 
 // Latency returns the request's end-to-end latency (0 if unserved).
@@ -86,6 +89,9 @@ type BatchRecord struct {
 	LiveShards int
 	// Failed marks a batch dropped with its retry budget spent.
 	Failed bool
+	// TraceID is the first kept member trace of the batch (0 when no
+	// member was sampled) — the batch-size histogram's exemplar.
+	TraceID uint64
 }
 
 // Event is one timeline annotation: a chaos plan change or a breaker

@@ -1,0 +1,60 @@
+package live
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/serving"
+)
+
+// TestPercentileGapEdgeCases pins the comparison's sentinels: empty
+// traces on either side, and out-of-range percentiles (Percentile
+// clamps them, so the gap is always finite arithmetic, never a panic).
+func TestPercentileGapEdgeCases(t *testing.T) {
+	mkTrace := func(lats ...float64) *serving.Trace {
+		tr := &serving.Trace{}
+		for _, l := range lats {
+			tr.Completions = append(tr.Completions, serving.Completion{Done: l})
+		}
+		return tr
+	}
+	empty := mkTrace()
+	full := mkTrace(0.1, 0.2, 0.4)
+
+	// Empty live trace: nothing to compare against. Identical emptiness
+	// is a zero gap; a live void against real replay latencies is an
+	// infinite one (the replay invented a distribution).
+	if gap := PercentileGap(empty, empty, 99); gap != 0 {
+		t.Fatalf("empty vs empty gap = %g, want 0", gap)
+	}
+	if gap := PercentileGap(empty, full, 99); !math.IsInf(gap, 1) {
+		t.Fatalf("empty live vs non-empty replay gap = %g, want +Inf", gap)
+	}
+	// Empty replay trace against live data: the replay under-reports
+	// everything, a full relative gap of 1.
+	if gap := PercentileGap(full, empty, 99); gap != 1 {
+		t.Fatalf("non-empty live vs empty replay gap = %g, want 1", gap)
+	}
+
+	// Out-of-range p clamps (p < 0 → minimum, p > 100 → maximum, NaN →
+	// minimum), matching serving.Trace.Percentile's pinned behaviour.
+	if gap := PercentileGap(full, full, -5); gap != 0 {
+		t.Fatalf("identical traces at p=-5 gap = %g, want 0", gap)
+	}
+	if gap := PercentileGap(full, full, 250); gap != 0 {
+		t.Fatalf("identical traces at p=250 gap = %g, want 0", gap)
+	}
+	lo := mkTrace(0.1, 0.2, 0.4)
+	hi := mkTrace(0.2, 0.2, 0.8)
+	wantMin := math.Abs(0.1-0.2) / 0.1 // p<0 clamps both sides to their minima
+	if gap := PercentileGap(lo, hi, -1); math.Abs(gap-wantMin) > 1e-12 {
+		t.Fatalf("p=-1 gap = %g, want %g (minimum vs minimum)", gap, wantMin)
+	}
+	wantMax := math.Abs(0.4-0.8) / 0.4 // p>100 clamps both sides to their maxima
+	if gap := PercentileGap(lo, hi, 1e6); math.Abs(gap-wantMax) > 1e-12 {
+		t.Fatalf("p=1e6 gap = %g, want %g (maximum vs maximum)", gap, wantMax)
+	}
+	if gap := PercentileGap(full, full, math.NaN()); gap != 0 {
+		t.Fatalf("identical traces at p=NaN gap = %g, want 0", gap)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/serving"
 	"repro/internal/shard"
@@ -28,13 +29,20 @@ type ShardedPIMBackend struct {
 	Cluster *shard.Cluster
 	Model   serving.LatencyModel
 
-	healthy float64 // steady cluster makespan of the healthy, all-up cluster
+	healthy   float64 // steady cluster makespan of the healthy, all-up cluster
+	healthyCT *shard.ClusterTiming
 
 	mu       sync.Mutex
 	plan     pim.FaultPlan
 	state    shard.State
 	attempts int64
 }
+
+// ErrNonPositiveMakespan reports a reference cluster whose healthy
+// steady-state makespan is not positive — the degradation-ratio latency
+// scaling would divide by it, so the backend refuses to build. Callers
+// distinguish it from other construction failures with errors.Is.
+var ErrNonPositiveMakespan = errors.New("live: reference cluster has non-positive healthy makespan")
 
 // NewShardedPIMBackend builds the backend; model is the healthy-cluster
 // latency as a function of batch size, and c the placed reference
@@ -48,14 +56,31 @@ func NewShardedPIMBackend(c *shard.Cluster, model serving.LatencyModel) (*Sharde
 		return nil, fmt.Errorf("live: healthy cluster estimate: %w", err)
 	}
 	if ct.SteadyMakespan <= 0 {
-		return nil, fmt.Errorf("live: reference cluster has non-positive healthy makespan")
+		return nil, fmt.Errorf("live: healthy cluster estimate %g: %w", ct.SteadyMakespan, ErrNonPositiveMakespan)
 	}
 	return &ShardedPIMBackend{
-		Cluster: c,
-		Model:   model,
-		healthy: ct.SteadyMakespan,
-		state:   shard.NewState(c.Cfg.Shards),
+		Cluster:   c,
+		Model:     model,
+		healthy:   ct.SteadyMakespan,
+		healthyCT: ct,
+		state:     shard.NewState(c.Cfg.Shards),
 	}, nil
+}
+
+// clusterSubPhases decomposes an attempt latency by the cluster
+// timing's broadcast / busy / gather shares. A single-shard cluster
+// pays no interconnect and returns nil (the attempt stays one phase).
+func clusterSubPhases(ct *shard.ClusterTiming, latency float64) []SubPhase {
+	if ct == nil || ct.SteadyMakespan <= 0 || latency <= 0 || ct.Broadcast+ct.Gather <= 0 {
+		return nil
+	}
+	b := latency * ct.Broadcast / ct.SteadyMakespan
+	g := latency * ct.Gather / ct.SteadyMakespan
+	return []SubPhase{
+		{Phase: obs.PhaseBroadcast, Dur: b},
+		{Phase: obs.PhasePIM, Dur: latency - b - g},
+		{Phase: obs.PhaseGather, Dur: g},
+	}
 }
 
 // Name implements Backend. The sharded cluster is still the "pim" side
@@ -114,6 +139,7 @@ func (b *ShardedPIMBackend) Execute(size, rows int) Outcome {
 	out := Outcome{Backend: b.Name(), OK: true, WorstSlowdown: 1,
 		Latency: b.Model(size), LiveShards: b.Cluster.Cfg.Shards}
 	if plan.IsZero() && allUp(st) {
+		out.SubPhases = clusterSubPhases(b.healthyCT, out.Latency)
 		return out
 	}
 	// Fresh per-shard transfer-outcome draws per attempt (PlanFor mixes
@@ -133,6 +159,7 @@ func (b *ShardedPIMBackend) Execute(size, rows int) Outcome {
 	// scales the batch latency: failover pile-up, re-dispatch rounds,
 	// stragglers and DMA retries stretch every batch the same way.
 	out.Latency *= ct.SteadyMakespan / b.healthy
+	out.SubPhases = clusterSubPhases(ct, out.Latency)
 	out.Failovers = ct.Failovers
 	out.LiveShards = ct.LiveShards
 	for _, stg := range ct.PerShard {

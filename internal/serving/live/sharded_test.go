@@ -1,6 +1,8 @@
 package live
 
 import (
+	"errors"
+	"math"
 	"testing"
 
 	"repro/internal/serving"
@@ -207,5 +209,32 @@ func TestRunScenarioRejectsShardEventsOnFlatBackend(t *testing.T) {
 	sched := ChaosSchedule{{At: 0.1, KillShards: []int{1}}}
 	if _, err := RunScenario(s, nil, sched); err == nil {
 		t.Fatal("shard-kill schedule accepted by a flat PIM backend")
+	}
+}
+
+// TestNewShardedBackendNonPositiveMakespan: an "infinitely fast"
+// single-shard platform yields a zero steady makespan; construction
+// must refuse with the typed error (the degradation-ratio scaling would
+// divide by that makespan) and callers must be able to detect it with
+// errors.Is rather than string matching.
+func TestNewShardedBackendNonPositiveMakespan(t *testing.T) {
+	plat, w, m := refOperator()
+	plat.FreqHz = math.Inf(1)
+	plat.BroadcastBW = math.Inf(1)
+	plat.ScatterBW = math.Inf(1)
+	plat.GatherBW = math.Inf(1)
+	plat.LocalBWPerPE = math.Inf(1)
+	plat.HostXferLatency = 0
+	plat.DMASetup = 0
+	c, err := shard.New(plat, w, m, shard.Config{Shards: 1, Replicas: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewShardedPIMBackend(c, func(int) float64 { return 0.01 })
+	if err == nil {
+		t.Fatal("zero-makespan cluster built a backend")
+	}
+	if !errors.Is(err, ErrNonPositiveMakespan) {
+		t.Fatalf("error %q does not unwrap to ErrNonPositiveMakespan", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/serving/live"
 )
 
@@ -12,7 +13,22 @@ const (
 	liveBatchTID   = 1
 	liveDegradeTID = 2
 	liveEventsTID  = 3
+	liveSpansTID   = 4
 )
+
+// asyncEvent is one Chrome trace nestable async event (ph = "b"/"e"):
+// events sharing (cat, id) form one row, so every request trace renders
+// as its own nested span row on the spans track.
+type asyncEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	ID   string            `json:"id"`
+	Args map[string]string `json:"args,omitempty"`
+}
 
 // ExportLive writes a recorded live-serving run as trace-event JSON:
 // every primary-lane batch execution as a complete event on the batch
@@ -25,9 +41,20 @@ const (
 // Virtual seconds map to trace microseconds 1:1 with the rest of the
 // package (×1e6), so a live trace and an offline engine trace of the
 // same model line up when opened together in Perfetto.
-func ExportLive(w io.Writer, rec *live.Recorder) error {
+//
+// Optional tracers add a "Request spans" track: every kept request
+// trace becomes one nested async row (id = the 16-hex trace ID — the
+// same string the metrics exemplars carry) with its queue / batch /
+// attempt / backoff phase spans and their attributes. Runs exported
+// without a tracer are byte-identical to what this function wrote
+// before the spans track existed.
+func ExportLive(w io.Writer, rec *live.Recorder, tracers ...*obs.Tracer) error {
 	if rec == nil {
 		return fmt.Errorf("trace: nil live recorder")
+	}
+	var traces []*obs.Trace
+	for _, tc := range tracers {
+		traces = append(traces, tc.Traces()...)
 	}
 	var events []any
 	events = append(events,
@@ -38,6 +65,10 @@ func ExportLive(w io.Writer, rec *live.Recorder) error {
 		metadata{Name: "thread_name", Ph: "M", PID: 1, TID: liveEventsTID,
 			Args: map[string]any{"name": "Chaos / breaker"}},
 	)
+	if len(traces) > 0 {
+		events = append(events, metadata{Name: "thread_name", Ph: "M", PID: 1, TID: liveSpansTID,
+			Args: map[string]any{"name": "Request spans"}})
+	}
 
 	// Shard-cluster runs add a "live shards" counter track stepping
 	// through each batch's surviving shard count — shard kills and
@@ -117,6 +148,33 @@ func ExportLive(w io.Writer, rec *live.Recorder) error {
 				"expired": fmt.Sprint(r.Expired),
 			},
 		})
+	}
+
+	for _, t := range traces {
+		id := fmt.Sprintf("%016x", t.TraceID)
+		for _, sp := range t.Spans() {
+			args := map[string]string{}
+			if sp.Phase != "" {
+				args["phase"] = string(sp.Phase)
+			}
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Value()
+			}
+			name := sp.Name
+			if sp.ID == 0 {
+				// Root span: carry the trace-level identity and outcome.
+				name = fmt.Sprintf("req %d (%s)", t.ReqID, t.Outcome())
+				args["trace_id"] = id
+				args["outcome"] = t.Outcome()
+				args["critical"] = fmt.Sprint(t.Critical())
+			}
+			events = append(events,
+				asyncEvent{Name: name, Cat: "request", Ph: "b", TS: sp.Start * 1e6,
+					PID: 1, TID: liveSpansTID, ID: id, Args: args},
+				asyncEvent{Name: name, Cat: "request", Ph: "e", TS: sp.End * 1e6,
+					PID: 1, TID: liveSpansTID, ID: id},
+			)
+		}
 	}
 
 	for _, ev := range rec.Events() {

@@ -3,8 +3,10 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/serving/live"
 )
 
@@ -133,5 +135,76 @@ func TestExportLiveNilRecorder(t *testing.T) {
 	var buf bytes.Buffer
 	if err := ExportLive(&buf, nil); err == nil {
 		t.Fatal("nil recorder accepted")
+	}
+}
+
+// TestExportLiveSpansTrack: passing a tracer adds the "Request spans"
+// track — one nested async row per kept trace, id'd by the 16-hex trace
+// ID the exemplars carry — without disturbing any pre-existing track
+// (TestExportLiveValidJSON pins the tracer-less event counts).
+func TestExportLiveSpansTrack(t *testing.T) {
+	tc, err := obs.NewTracer(obs.Config{Capacity: 8, SampleRate: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tc.Start(1, 0.01)
+	q := tr.StartSpan(0, "queue", obs.PhaseQueue, 0.01)
+	tr.EndSpan(q, 0.10)
+	att := tr.StartSpan(0, "attempt", "", 0.10)
+	tr.Annotate(att, obs.Int("attempt", 0), obs.Str("backend", "pim"))
+	ex := tr.StartSpan(att, "execute", obs.PhasePIM, 0.10)
+	tr.EndSpan(ex, 0.15)
+	tr.EndSpan(att, 0.15)
+	if !tc.Finish(tr, "served", 0.15, false) {
+		t.Fatal("trace not kept")
+	}
+
+	var buf bytes.Buffer
+	if err := ExportLive(&buf, liveTestRecorder(), tc); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	wantID := fmt.Sprintf("%016x", tr.TraceID)
+	byPh := map[string]int{}
+	spanNames := map[string]bool{}
+	namedSpansTrack := false
+	for _, ev := range doc.TraceEvents {
+		ph := ev["ph"].(string)
+		byPh[ph]++
+		if ph == "M" {
+			if name, _ := ev["args"].(map[string]any)["name"].(string); name == "Request spans" {
+				namedSpansTrack = true
+			}
+			continue
+		}
+		if ph != "b" && ph != "e" {
+			continue
+		}
+		if ev["id"] != wantID {
+			t.Fatalf("span event id %v, want %s", ev["id"], wantID)
+		}
+		if ph == "b" {
+			spanNames[ev["name"].(string)] = true
+		}
+	}
+	// 4 spans (request root, queue, attempt, execute) → 4 begin + 4 end
+	// async events on the new metadata-named track; every other phase
+	// count matches the tracer-less export.
+	if byPh["b"] != 4 || byPh["e"] != 4 || byPh["M"] != 4 ||
+		byPh["X"] != 3 || byPh["i"] != 3 || byPh["C"] != 2 {
+		t.Fatalf("event counts %v, want b:4 e:4 M:4 X:3 i:3 C:2", byPh)
+	}
+	if !namedSpansTrack {
+		t.Fatal("spans track metadata missing")
+	}
+	for _, name := range []string{"req 1 (served)", "queue", "attempt", "execute"} {
+		if !spanNames[name] {
+			t.Fatalf("span %q missing from track (have %v)", name, spanNames)
+		}
 	}
 }
